@@ -1,0 +1,64 @@
+"""Figure 1(a): file random read on the NVMe SSD — the headline plot.
+
+Paper series (GB/s vs block size, 32 KB .. 4 MB):
+
+* Host <-> SSD                       — the maximum-possible baseline.
+* Phi-Solros <-> SSD                 — matches/approaches the host.
+* Phi-Solros <-> SSD (cross NUMA)    — the policy switches to buffered
+                                       mode and stays high; we also
+                                       show the naive forced-P2P path
+                                       capped at ~300 MB/s (caption).
+* Phi-Linux <-> Host (NFS) <-> SSD   — ~19x below Solros.
+* Phi-Linux <-> Host (virtio) <-> SSD — ~0.2 GB/s plateau.
+
+Expected shape: Solros reaches the SSD's 2.4 GB/s at >=512 KB; the
+stock-Phi stacks stay an order of magnitude below at every size.
+"""
+
+from repro.bench import fs_random_io, render_series
+from repro.hw import KB, MB
+
+BLOCK_SIZES = [32 * KB, 64 * KB, 128 * KB, 256 * KB, 512 * KB, 1 * MB, 2 * MB, 4 * MB]
+THREADS = 32
+STACKS = [
+    ("host", "Host"),
+    ("solros", "Phi-Solros"),
+    ("solros-xnuma", "Solros-xNUMA"),
+    ("solros-xnuma-p2p", "naive-xP2P"),
+    ("nfs", "Phi-NFS"),
+    ("virtio", "Phi-virtio"),
+]
+
+
+def run_figure():
+    series = {}
+    for stack, label in STACKS:
+        series[label] = [
+            fs_random_io(stack, bs, THREADS, op="read") for bs in BLOCK_SIZES
+        ]
+    return series
+
+
+def test_fig01a_file_random_read(benchmark):
+    series = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    print(
+        render_series(
+            "Figure 1(a): random read throughput (GB/s)",
+            "block",
+            [f"{bs // KB}KB" for bs in BLOCK_SIZES],
+            series,
+            subtitle=f"{THREADS} threads; paper: Solros ~ Host ~ 2.4, "
+            "xNUMA P2P capped 0.3, NFS ~19x below, virtio ~0.2",
+        )
+    )
+    peak = {label: max(vals) for label, vals in series.items()}
+    # Solros reaches the SSD's read bandwidth and matches the host.
+    assert peak["Phi-Solros"] > 2.0
+    assert peak["Phi-Solros"] > 0.9 * peak["Host"]
+    # The cross-NUMA policy keeps throughput high...
+    assert peak["Solros-xNUMA"] > 1.8
+    # ...while naive P2P across NUMA is capped at ~300 MB/s.
+    assert peak["naive-xP2P"] < 0.4
+    # Stock-Phi stacks are an order of magnitude slower.
+    assert peak["Phi-Solros"] / peak["Phi-NFS"] > 10
+    assert peak["Phi-Solros"] / peak["Phi-virtio"] > 5

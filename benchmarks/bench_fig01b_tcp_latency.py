@@ -1,0 +1,62 @@
+"""Figure 1(b): TCP latency CDF for 64-byte messages.
+
+Paper: CDFs of request latency for Host, Phi-Solros, and Phi-Linux
+echo servers; Phi-Linux's 99th percentile is ~7x the host's, while
+Solros stays close to the host.
+"""
+
+from repro.bench import render_table, tcp_echo_samples
+from repro.sim.stats import cdf_points, percentile, summarize
+
+CONFIGS = ["host", "solros", "phi-linux"]
+N_MESSAGES = 300
+
+
+def run_figure():
+    return {cfg: tcp_echo_samples(cfg, N_MESSAGES) for cfg in CONFIGS}
+
+
+def test_fig01b_tcp_latency_cdf(benchmark):
+    samples = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    stats = {cfg: summarize(samples[cfg]) for cfg in CONFIGS}
+
+    rows = []
+    for cfg in CONFIGS:
+        s = stats[cfg]
+        rows.append(
+            [
+                cfg,
+                s["p50"] / 1000.0,
+                s["p95"] / 1000.0,
+                s["p99"] / 1000.0,
+                s["max"] / 1000.0,
+            ]
+        )
+    print(
+        render_table(
+            "Figure 1(b): 64-byte TCP echo latency (usec)",
+            ["config", "p50", "p95", "p99", "max"],
+            rows,
+            subtitle="paper: Phi-Linux p99 ~7x Host; Solros near Host",
+        )
+    )
+    # CDF points for the figure proper.
+    cdf_rows = []
+    for cfg in CONFIGS:
+        for value, pct in cdf_points(samples[cfg], npoints=10):
+            cdf_rows.append([cfg, value / 1000.0, pct])
+    print(
+        render_table(
+            "Figure 1(b) CDF points",
+            ["config", "usec", "percent"],
+            cdf_rows,
+        )
+    )
+
+    p99 = {cfg: stats[cfg]["p99"] for cfg in CONFIGS}
+    # Phi-Linux tail is several times the host's (paper: ~7x).
+    assert p99["phi-linux"] / p99["host"] > 3.5
+    # Solros stays within ~2.5x of the host tail.
+    assert p99["solros"] / p99["host"] < 2.5
+    # Ordering on medians too.
+    assert stats["host"]["p50"] < stats["solros"]["p50"] < stats["phi-linux"]["p50"]

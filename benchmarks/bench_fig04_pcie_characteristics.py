@@ -1,0 +1,66 @@
+"""Figure 4: PCIe transfer characteristics (DMA vs load/store,
+host- vs Phi-initiated, 64 B .. 8 MB).
+
+Paper findings this bench must reproduce:
+
+* 8 MB: DMA ~150x (host) / ~116x (Phi) faster than load/store memcpy;
+* 64 B: memcpy 2.9x (host) / 12.6x (Phi) faster than DMA;
+* host-initiated beats Phi-initiated: ~2.3x (DMA), ~1.8x (memcpy).
+"""
+
+from repro.bench import pcie_transfer_mbps, render_table
+from repro.hw import KB, MB
+
+SIZES = [64, 512, 1 * KB, 4 * KB, 16 * KB, 64 * KB, 1 * MB, 4 * MB, 8 * MB]
+
+
+def label(nbytes):
+    if nbytes < KB:
+        return f"{nbytes}B"
+    if nbytes < MB:
+        return f"{nbytes // KB}KB"
+    return f"{nbytes // MB}MB"
+
+
+def run_figure():
+    rows = []
+    table = {}
+    for size in SIZES:
+        row = [label(size)]
+        for initiator in ("host", "phi"):
+            for mech in ("dma", "memcpy"):
+                direction = "h2p" if initiator == "host" else "p2h"
+                mbps = pcie_transfer_mbps(mech, initiator, direction, size)
+                row.append(mbps)
+                table[(size, initiator, mech)] = mbps
+        rows.append(row)
+    return rows, table
+
+
+def test_fig04_pcie_characteristics(benchmark):
+    rows, table = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    print(
+        render_table(
+            "Figure 4: PCIe transfer bandwidth (MB/s)",
+            ["size", "host-DMA", "host-memcpy", "phi-DMA", "phi-memcpy"],
+            rows,
+            subtitle="paper: 8MB DMA 150x/116x memcpy; 64B memcpy "
+            "2.9x/12.6x DMA; host-initiated 2.3x/1.8x faster",
+        )
+    )
+    big, small = 8 * MB, 64
+    # Large transfers: DMA dominates by the paper's ratios.
+    host_big = table[(big, "host", "dma")] / table[(big, "host", "memcpy")]
+    phi_big = table[(big, "phi", "dma")] / table[(big, "phi", "memcpy")]
+    assert 100 < host_big < 220, host_big       # paper: ~150x
+    assert 70 < phi_big < 180, phi_big          # paper: ~116x
+    # Small transfers: memcpy wins.
+    host_small = table[(small, "host", "memcpy")] / table[(small, "host", "dma")]
+    phi_small = table[(small, "phi", "memcpy")] / table[(small, "phi", "dma")]
+    assert 2.0 < host_small < 4.5, host_small   # paper: 2.9x
+    assert 8.0 < phi_small < 18.0, phi_small    # paper: 12.6x
+    # Initiator asymmetry at large sizes.
+    dma_asym = table[(big, "host", "dma")] / table[(big, "phi", "dma")]
+    ls_asym = table[(big, "host", "memcpy")] / table[(big, "phi", "memcpy")]
+    assert 1.9 < dma_asym < 2.8, dma_asym       # paper: 2.3x
+    assert 1.5 < ls_asym < 2.2, ls_asym         # paper: 1.8x

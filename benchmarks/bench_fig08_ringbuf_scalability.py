@@ -1,0 +1,48 @@
+"""Figure 8: ring-buffer scalability, 64-byte enqueue-dequeue pairs,
+both ring ends local to the Xeon Phi (no PCIe).
+
+Paper: the combining ring scales to ~700k pairs/s at 61 cores — 4.1x
+the ticket-lock two-lock queue (which collapses past ~10 threads) and
+1.5x the MCS-lock variant (which plateaus).
+"""
+
+from repro.bench import render_series, ringbuf_local_pairs_per_sec
+
+THREADS = [1, 2, 4, 8, 16, 32, 48, 61]
+ALGOS = [("solros", "Solros"), ("ticket", "two-lock(ticket)"), ("mcs", "two-lock(MCS)")]
+
+
+def run_figure():
+    series = {}
+    for algo, name in ALGOS:
+        series[name] = [
+            ringbuf_local_pairs_per_sec(algo, n) / 1e3 for n in THREADS
+        ]
+    return series
+
+
+def test_fig08_ringbuf_scalability(benchmark):
+    series = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    print(
+        render_series(
+            "Figure 8: enqueue-dequeue pairs (k pairs/s) on the Phi",
+            "threads",
+            THREADS,
+            series,
+            subtitle="paper @61: Solros ~700k = 4.1x ticket, 1.5x MCS; "
+            "ticket peaks ~8-16 threads then collapses",
+        )
+    )
+    solros = series["Solros"]
+    ticket = series["two-lock(ticket)"]
+    mcs = series["two-lock(MCS)"]
+    at61 = THREADS.index(61)
+    # Headline ratios (paper: 4.1x and 1.5x).
+    assert 3.0 < solros[at61] / ticket[at61] < 7.0
+    assert 1.15 < solros[at61] / mcs[at61] < 2.2
+    # The ticket lock collapses: its 61-thread rate is well below peak.
+    assert ticket[at61] < 0.55 * max(ticket)
+    # Combining keeps scaling (monotone-ish to the plateau).
+    assert solros[at61] >= 0.95 * max(solros)
+    # MCS plateaus rather than collapsing.
+    assert mcs[at61] > 0.8 * max(mcs)

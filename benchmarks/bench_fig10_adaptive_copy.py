@@ -1,0 +1,65 @@
+"""Figure 10: unidirectional ring bandwidth vs element size for the
+three copy mechanisms (memcpy, DMA, adaptive) with 8 threads.
+
+Paper: memcpy wins below the crossover (~1 KB from the host, ~16 KB
+from the Phi), DMA wins above it, and the adaptive scheme tracks the
+winner everywhere.  Master ring at the sender, receiver pulls.
+"""
+
+from repro.bench import render_series, ringbuf_copy_bandwidth
+from repro.hw import KB, MB
+
+SIZES = [512, 1 * KB, 4 * KB, 16 * KB, 64 * KB, 1 * MB, 4 * MB]
+MODES = ["memcpy", "dma", "adaptive"]
+
+
+def label(nbytes):
+    if nbytes < KB:
+        return f"{nbytes}B"
+    if nbytes < MB:
+        return f"{nbytes // KB}KB"
+    return f"{nbytes // MB}MB"
+
+
+def run_figure():
+    out = {}
+    for direction, tag in (("phi2host", "Phi->Host"), ("host2phi", "Host->Phi")):
+        series = {}
+        for mode in MODES:
+            series[mode] = [
+                ringbuf_copy_bandwidth(direction, mode, size) for size in SIZES
+            ]
+        out[tag] = series
+    return out
+
+
+def test_fig10_adaptive_copy(benchmark):
+    out = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    for tag, series in out.items():
+        print(
+            render_series(
+                f"Figure 10 ({tag}): ring bandwidth (GB/s), 8 threads",
+                "element",
+                [label(s) for s in SIZES],
+                series,
+                subtitle="paper: memcpy wins small, DMA wins large, "
+                "adaptive ~= max of both",
+            )
+        )
+    for tag, series in out.items():
+        memcpy, dma, adaptive = series["memcpy"], series["dma"], series["adaptive"]
+        # memcpy beats DMA at the smallest size; DMA beats memcpy at 4MB.
+        assert memcpy[0] > dma[0], tag
+        assert dma[-1] > 5 * memcpy[-1], tag
+        # Adaptive tracks the winner at every size.  The margin is
+        # loose (30%) right around the paper's fixed 1 KB / 16 KB
+        # thresholds, which sit slightly off the model's exact
+        # crossover — fixed thresholds are approximations in the real
+        # system too.
+        for i in range(len(SIZES)):
+            best = max(memcpy[i], dma[i])
+            assert adaptive[i] > 0.70 * best, (tag, SIZES[i])
+    # Phi->Host pulls faster at large sizes (host-initiated copies).
+    assert (
+        out["Phi->Host"]["adaptive"][-1] > out["Host->Phi"]["adaptive"][-1]
+    )

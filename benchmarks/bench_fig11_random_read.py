@@ -1,0 +1,63 @@
+"""Figure 11: random-read throughput on the NVMe SSD — block size ×
+thread count × four configurations (Host, Phi-Solros, Phi-virtio,
+Phi-NFS).
+
+Paper: Solros and the host reach the SSD's 2.4 GB/s; virtio plateaus
+around 0.2 GB/s and NFS below that, at every thread count.
+(The paper sweeps threads {1,4,8,32,61}; we run {1,8,61} per stack to
+keep the bench fast — the intermediate points add no new shape.)
+"""
+
+import os
+
+from repro.bench import fs_random_io, render_series
+from repro.hw import KB, MB
+
+BLOCK_SIZES = [32 * KB, 64 * KB, 128 * KB, 256 * KB, 512 * KB, 1 * MB, 2 * MB, 4 * MB]
+# REPRO_BENCH_FULL=1 runs the paper's complete thread grid.
+THREADS = (
+    [1, 4, 8, 32, 61]
+    if os.environ.get("REPRO_BENCH_FULL")
+    else [1, 8, 61]
+)
+STACKS = [("host", "Host"), ("solros", "Phi-Solros"),
+          ("virtio", "Phi-virtio"), ("nfs", "Phi-NFS")]
+
+
+def run_figure():
+    results = {}
+    for stack, label in STACKS:
+        for n in THREADS:
+            results[(label, n)] = [
+                fs_random_io(stack, bs, n, op="read") for bs in BLOCK_SIZES
+            ]
+    return results
+
+
+def test_fig11_random_read(benchmark):
+    results = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    for _stack, label in STACKS:
+        series = {f"{n}thr": results[(label, n)] for n in THREADS}
+        print(
+            render_series(
+                f"Figure 11 ({label}): random read (GB/s)",
+                "block",
+                [f"{bs // KB}KB" for bs in BLOCK_SIZES],
+                series,
+                subtitle="paper: Host/Solros -> 2.4 GB/s; "
+                "virtio ~0.2; NFS ~0.1",
+            )
+        )
+    peak = {label: max(max(results[(label, n)]) for n in THREADS)
+            for _s, label in STACKS}
+    assert peak["Host"] > 2.0
+    assert peak["Phi-Solros"] > 2.0
+    assert peak["Phi-virtio"] < 0.45
+    assert peak["Phi-NFS"] < 0.3
+    # Solros at 61 threads and large blocks saturates the device.
+    big61 = results[("Phi-Solros", 61)][-1]
+    assert big61 > 2.0
+    # Single-thread Solros is latency-bound, well below saturation at
+    # small blocks (the Figure 11 left-edge shape).
+    small1 = results[("Phi-Solros", 1)][0]
+    assert small1 < 0.65

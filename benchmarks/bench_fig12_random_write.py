@@ -1,0 +1,53 @@
+"""Figure 12: random-write throughput — same grid as Figure 11.
+
+Paper: Solros and the host reach the SSD's write bandwidth
+(1.2 GB/s); virtio and NFS stay below 0.1 GB/s.
+"""
+
+import os
+
+from repro.bench import fs_random_io, render_series
+from repro.hw import KB, MB
+
+BLOCK_SIZES = [32 * KB, 64 * KB, 128 * KB, 256 * KB, 512 * KB, 1 * MB, 2 * MB, 4 * MB]
+# REPRO_BENCH_FULL=1 runs the paper's complete thread grid.
+THREADS = (
+    [1, 4, 8, 32, 61]
+    if os.environ.get("REPRO_BENCH_FULL")
+    else [1, 8, 61]
+)
+STACKS = [("host", "Host"), ("solros", "Phi-Solros"),
+          ("virtio", "Phi-virtio"), ("nfs", "Phi-NFS")]
+
+
+def run_figure():
+    results = {}
+    for stack, label in STACKS:
+        for n in THREADS:
+            results[(label, n)] = [
+                fs_random_io(stack, bs, n, op="write") for bs in BLOCK_SIZES
+            ]
+    return results
+
+
+def test_fig12_random_write(benchmark):
+    results = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    for _stack, label in STACKS:
+        series = {f"{n}thr": results[(label, n)] for n in THREADS}
+        print(
+            render_series(
+                f"Figure 12 ({label}): random write (GB/s)",
+                "block",
+                [f"{bs // KB}KB" for bs in BLOCK_SIZES],
+                series,
+                subtitle="paper: Host/Solros -> 1.2 GB/s; "
+                "virtio/NFS < 0.1",
+            )
+        )
+    peak = {label: max(max(results[(label, n)]) for n in THREADS)
+            for _s, label in STACKS}
+    # Write bandwidth cap is 1.2 GB/s — half the read cap.
+    assert 1.0 < peak["Host"] < 1.4
+    assert 1.0 < peak["Phi-Solros"] < 1.4
+    assert peak["Phi-virtio"] < 0.2
+    assert peak["Phi-NFS"] < 0.25

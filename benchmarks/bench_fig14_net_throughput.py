@@ -1,0 +1,57 @@
+"""Figure 14 (reconstructed): network streaming throughput.
+
+The paper's network micro-benchmark section falls in the truncated
+text; the abstract reports Solros improving network-operation
+throughput by ~7× over the stock Xeon Phi.  This bench streams
+client → server over multiple connections and sweeps message size for
+the three configurations.
+
+Expected shape: Solros ≈ Host, both several times Phi-Linux (whose
+softirq path serializes all Phi-side segment processing).
+"""
+
+from repro.bench import net_stream_throughput, render_series
+from repro.hw import KB
+
+MSG_SIZES = [64, 512, 4 * KB, 16 * KB, 64 * KB]
+CONFIGS = [("host", "Host"), ("solros", "Phi-Solros"), ("phi-linux", "Phi-Linux")]
+
+
+def run_figure():
+    # Enough concurrent connections that per-message pull latency on
+    # the Phi (notably for 1-16 KB messages below the adaptive-copy
+    # DMA threshold) is hidden by parallelism, as the paper's
+    # many-threaded servers do.
+    series = {}
+    for cfg, label in CONFIGS:
+        series[label] = [
+            net_stream_throughput(cfg, size, n_messages=60, n_conns=12)
+            for size in MSG_SIZES
+        ]
+    return series
+
+
+def test_fig14_net_stream_throughput(benchmark):
+    series = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    print(
+        render_series(
+            "Figure 14*: client->server stream throughput (MB/s)",
+            "msg",
+            [f"{s}B" if s < KB else f"{s // KB}KB" for s in MSG_SIZES],
+            series,
+            subtitle="reconstructed; abstract: Solros ~7x stock Phi "
+            "for network operations",
+        )
+    )
+    # At every message size Solros beats Phi-Linux substantially.
+    for i, _size in enumerate(MSG_SIZES):
+        assert series["Phi-Solros"][i] > 2.0 * series["Phi-Linux"][i]
+    # The large-message gap reaches the abstract's order (>= 4x).
+    big = len(MSG_SIZES) - 1
+    assert series["Phi-Solros"][big] / series["Phi-Linux"][big] > 4.0
+    # Solros delivers GB/s-class streaming into the Phi; the raw host
+    # endpoint is faster still (it keeps the data in host memory —
+    # Solros additionally crosses PCIe with Phi-initiated DMA pulls,
+    # whose descriptor programming serializes per card).
+    assert series["Phi-Solros"][big] > 1000.0  # MB/s
+    assert series["Phi-Solros"][big] > 0.25 * series["Host"][big]

@@ -1,0 +1,75 @@
+"""Table 1: lines-of-code inventory.
+
+The paper's Table 1 reports the lines modified per module of the
+Linux-based implementation (transport 1,035; FS stub 5,957; FS proxy
+2,338; net stub 2,921; net proxy 5,609; NVMe driver 924; SCIF 60 —
+18,844 added lines total).  That is a property of *their* codebase;
+the reproducible analog is this repository's own per-subsystem
+inventory, printed here in the same shape.
+"""
+
+import os
+
+from repro.bench.report import render_table
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+
+MODULES = [
+    ("Transport service", "transport"),
+    ("File system service", "fs"),
+    ("Network service", "net"),
+    ("Hardware substrate", "hw"),
+    ("Simulation kernel", "sim"),
+    ("Split-OS core", "core"),
+    ("Applications", "apps"),
+    ("Bench harness", "bench"),
+]
+
+PAPER_ROWS = {
+    "Transport service": 1035,
+    "File system service": 5957 + 2338,
+    "Network service": 2921 + 5609,
+}
+
+
+def count_loc(subdir: str) -> int:
+    total = 0
+    root = os.path.join(REPO_SRC, subdir)
+    for dirpath, _dirs, files in os.walk(root):
+        for name in files:
+            if not name.endswith(".py"):
+                continue
+            with open(os.path.join(dirpath, name)) as fh:
+                total += sum(1 for _ in fh)
+    return total
+
+
+def run_table():
+    rows = []
+    for label, subdir in MODULES:
+        ours = count_loc(subdir)
+        paper = PAPER_ROWS.get(label, "-")
+        rows.append([label, ours, paper])
+    rows.append(["Total", sum(r[1] for r in rows), 18_844])
+    return rows
+
+
+def test_table1_loc_inventory(benchmark):
+    rows = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    print(
+        render_table(
+            "Table 1: lines of code per module (ours vs paper's added lines)",
+            ["module", "this repo", "paper"],
+            rows,
+            subtitle="paper modified a Linux kernel; we built the "
+            "whole substrate, hence the extra subsystems",
+            col_width=22,
+        )
+    )
+    by_label = {r[0]: r[1] for r in rows}
+    # Sanity: the three Solros services are substantial codebases here
+    # too, and the whole build is in the promised range.
+    assert by_label["Transport service"] > 500
+    assert by_label["File system service"] > 1500
+    assert by_label["Network service"] > 800
+    assert by_label["Total"] > 8000

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Shared listening socket: four co-processors serve one port (§4.4.3).
+
+All four Xeon Phis listen on host:9000 through the Solros network
+service.  The control-plane proxy accepts each client connection and
+forwards it to one of the members — round-robin here; swap in
+``LeastLoadedBalancer()`` or a ``ContentBasedBalancer(rule)`` to change
+the policy without touching the servers.
+
+Run:  python examples/shared_socket_server.py
+"""
+
+from repro.core import SolrosConfig, SolrosSystem
+from repro.net import RoundRobinBalancer, SocketAddr
+from repro.net.testbed import NetTestbed
+from repro.sim import Engine
+
+PORT = 9000
+N_CLIENTS = 12
+
+
+def main() -> None:
+    eng = Engine()
+    system = SolrosSystem(eng, SolrosConfig(disk_blocks=8192, max_inodes=16))
+    eng.run_process(system.boot(n_phis=4))
+    testbed = NetTestbed(eng, system.machine)
+    proxy = testbed.solros_proxy()
+    apis = [proxy.attach(system.dataplane(i)) for i in range(4)]
+    served = {i: [] for i in range(4)}
+
+    def phi_server(i):
+        dp = system.dataplane(i)
+        core = dp.core(0)
+        balancer = RoundRobinBalancer() if i == 0 else None
+        listener = yield from apis[i].listen(core, PORT, balancer)
+        while True:
+            sock = yield from listener.accept(core)
+            payload, n = yield from sock.recv(core)
+            if payload is None:
+                continue
+            served[i].append(payload)
+            reply = f"phi{i} processed {payload!r}".encode()
+            yield from sock.send(core, reply, len(reply))
+
+    def client(j):
+        core = testbed.client_cpu.core(j % 16)
+        conn = yield from testbed.client.connect(core, SocketAddr("host", PORT))
+        yield from conn.send(core, f"request-{j}", 64)
+        reply, _n = yield from conn.recv(core)
+        print(f"  client {j:>2} -> {reply.decode()}")
+        yield from conn.close(core)
+
+    for i in range(4):
+        eng.spawn(phi_server(i))
+
+    def run_clients(eng):
+        for j in range(N_CLIENTS):
+            yield from client(j)
+
+    print(f"{N_CLIENTS} clients connecting to the shared port {PORT}:\n")
+    eng.run_process(run_clients(eng))
+
+    print("\nconnections per co-processor (round robin):")
+    for i in range(4):
+        print(f"  phi{i}: {len(served[i])} requests {served[i]}")
+    print(f"\nproxy stats: {proxy.stats.accepts} accepts, "
+          f"{proxy.stats.messages_in} msgs in, "
+          f"{proxy.stats.messages_out} msgs out")
+    proxy.stop()
+    system.shutdown()
+
+
+if __name__ == "__main__":
+    main()

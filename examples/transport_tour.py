@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Transport tour: the Solros ring buffer's Figure-5 API, step by step.
+
+Shows the decoupled enqueue/copy/ready + dequeue/copy/done protocol on
+a Phi→Host ring, the master/shadow placement decision, the adaptive
+copy mechanism, and the lazy-replication PCIe savings — with the
+simulated cost of each step printed as it happens.
+
+Run:  python examples/transport_tour.py
+"""
+
+from repro.hw import KB, MB, build_machine
+from repro.sim import Engine
+from repro.transport import RingBuffer, RingPolicy
+
+
+def step(eng, label, t0):
+    print(f"  {label:<46} +{(eng.now - t0) / 1000:8.2f} us")
+    return eng.now
+
+
+def main() -> None:
+    eng = Engine()
+    m = build_machine(eng)
+    phi, host = m.phi(0), m.host
+
+    # Master ring in Phi memory: the Phi's operations are local; the
+    # host crosses PCIe (and it is the faster initiator — Figure 4).
+    ring = RingBuffer(
+        eng, m.fabric, 8 * MB,
+        master_cpu=phi, sender_cpu=phi, receiver_cpu=host,
+        policy=RingPolicy(copy_mode="adaptive"),
+    )
+    sender, receiver = phi.core(0), m.host_core(0)
+
+    def tour(eng):
+        print("Phi -> Host ring, master at the Phi (8 MB):\n")
+        for size, tag in ((256, "256 B (memcpy side)"), (1 * MB, "1 MB (DMA side)")):
+            print(f"element: {tag}")
+            t = eng.now
+            slot = yield from ring.try_enqueue(sender, size)
+            t = step(eng, "rb_enqueue (reserve slot, combining)", t)
+            yield from ring.copy_to(sender, slot, b"payload")
+            t = step(eng, "rb_copy_to_rb_buf (local memcpy: master here)", t)
+            yield from ring.set_ready(sender, slot)
+            t = step(eng, "rb_set_ready", t)
+            got = yield from ring.try_dequeue(receiver)
+            t = step(eng, "rb_dequeue (host claims the slot)", t)
+            data = yield from ring.copy_from(receiver, got)
+            mech = "load/store" if size < 1024 else "host DMA pull"
+            t = step(eng, f"rb_copy_from_rb_buf ({mech})", t)
+            yield from ring.set_done(receiver, got)
+            step(eng, "rb_set_done (space reclaimed)", t)
+            assert data == b"payload"
+            print()
+        return ring.stats
+
+    stats = eng.run_process(tour(eng))
+    print("ring statistics:")
+    print(f"  enqueues/dequeues: {stats.enqueues}/{stats.dequeues}")
+    print(f"  PCIe control transactions: {stats.pcie_tx} "
+          f"(lazy replication keeps this tiny)")
+    print(f"  copies: {stats.memcpy_copies} memcpy, {stats.dma_copies} DMA "
+          f"(adaptive threshold: 1 KB host / 16 KB Phi)")
+
+    # Contrast: the same traffic with eager (non-replicated) control
+    # variables burns a PCIe transaction per control access.
+    eng2 = Engine()
+    m2 = build_machine(eng2)
+    eager = RingBuffer(
+        eng2, m2.fabric, 8 * MB,
+        master_cpu=m2.phi(0), sender_cpu=m2.phi(0), receiver_cpu=m2.host,
+        policy=RingPolicy(lazy_update=False),
+    )
+
+    def eager_run(eng):
+        for i in range(50):
+            yield from eager.send(m2.phi_core(0, 0), i, 64)
+            yield from eager.recv(m2.host_core(0))
+
+    eng2.run_process(eager_run(eng2))
+    print(f"\nfor 50 x 64B messages: eager mode used {eager.stats.pcie_tx} "
+          f"PCIe control transactions (lazy mode uses a handful)")
+
+
+if __name__ == "__main__":
+    main()

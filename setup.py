@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Present so ``pip install -e .`` works in offline environments where the
+``wheel`` package (required by PEP 660 editable installs) is missing;
+pip then falls back to ``setup.py develop``.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

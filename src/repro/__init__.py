@@ -1,0 +1,33 @@
+"""repro — reproduction of Solros (EuroSys 2018).
+
+Solros is a data-centric operating system architecture for heterogeneous
+systems: co-processors run a lean *data-plane OS* that delegates I/O
+stacks (file system, TCP) over an optimized PCIe transport to a
+*control-plane OS* on the host, which coordinates devices using global,
+system-wide knowledge.
+
+This package rebuilds the whole system in Python on top of a
+deterministic discrete-event hardware simulation (see DESIGN.md for the
+substitution rationale):
+
+* :mod:`repro.sim` — discrete-event kernel.
+* :mod:`repro.hw` — machine models (cores, PCIe/NUMA topology, DMA,
+  NVMe, NIC, cache-coherent memory).
+* :mod:`repro.transport` — the Solros ring buffer (combining, lazy
+  replication, adaptive copy) plus lock-based baselines, and RPC.
+* :mod:`repro.fs` — extent file system, buffer cache, Solros file-system
+  stub/proxy, NFS and virtio baselines.
+* :mod:`repro.net` — simplified TCP, Solros network stub/proxy, shared
+  listening socket load balancing.
+* :mod:`repro.core` — data-plane / control-plane OS objects and the
+  `SolrosSystem` facade.
+* :mod:`repro.apps` — text-indexing and image-search applications.
+* :mod:`repro.bench` — the experiment harness regenerating every table
+  and figure.
+"""
+
+__version__ = "1.0.0"
+
+from .sim import Engine
+
+__all__ = ["Engine", "__version__"]

@@ -1,0 +1,28 @@
+"""Realistic I/O-intensive applications (§6.2).
+
+* :mod:`repro.apps.textindex` — inverted-index construction (the 19×
+  application: I/O-bound).
+* :mod:`repro.apps.imagesearch` — k-NN feature search (the 2×
+  application: compute-heavy, SIMD-friendly).
+* :mod:`repro.apps.workloads` — seeded synthetic corpus / feature
+  dataset generators standing in for the paper's proprietary data.
+"""
+
+from .imagesearch import ImageSearch, SearchResult
+from .kvstore import KV_PORT, KvClient, KvShard, key_shard, kv_balancer
+from .textindex import IndexResult, TextIndexer
+from .workloads import FeatureDataset, SyntheticCorpus
+
+__all__ = [
+    "TextIndexer",
+    "IndexResult",
+    "ImageSearch",
+    "SearchResult",
+    "SyntheticCorpus",
+    "FeatureDataset",
+    "KvShard",
+    "KvClient",
+    "key_shard",
+    "kv_balancer",
+    "KV_PORT",
+]

@@ -1,0 +1,114 @@
+"""Standalone experiment runner: ``python -m repro.bench``.
+
+Runs any figure/table/ablation without pytest, printing the same
+tables the benchmark suite produces.  Useful for poking at a single
+experiment while reading the paper::
+
+    python -m repro.bench --list
+    python -m repro.bench fig08
+    python -m repro.bench fig01a fig13
+    python -m repro.bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import os
+import sys
+import time
+from typing import Dict, List
+
+BENCH_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "..", "..", "benchmarks"
+)
+
+__all__ = ["main", "discover", "run_one"]
+
+
+def discover() -> Dict[str, str]:
+    """Map short experiment ids to bench file paths."""
+    table: Dict[str, str] = {}
+    if not os.path.isdir(BENCH_DIR):
+        return table
+    for name in sorted(os.listdir(BENCH_DIR)):
+        if not (name.startswith("bench_") and name.endswith(".py")):
+            continue
+        stem = name[len("bench_"):-3]
+        short = stem.split("_")[0]          # fig01a, table1, ablation...
+        if short == "ablation" or short == "kvstore":
+            short = stem                     # keep ablation_* distinct
+        table[short] = os.path.join(BENCH_DIR, name)
+    return table
+
+
+class _PrintBenchmark:
+    """Minimal stand-in for the pytest-benchmark fixture."""
+
+    def pedantic(self, func, rounds=1, iterations=1, args=(), kwargs=None):
+        return func(*args, **(kwargs or {}))
+
+    def __call__(self, func, *args, **kwargs):  # pragma: no cover
+        return func(*args, **kwargs)
+
+
+def run_one(short: str, path: str) -> bool:
+    """Import the bench module and run its test function(s)."""
+    spec = importlib.util.spec_from_file_location(f"bench_{short}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    tests = [
+        getattr(module, name)
+        for name in dir(module)
+        if name.startswith("test_") and callable(getattr(module, name))
+    ]
+    ok = True
+    for test in tests:
+        started = time.time()
+        try:
+            test(_PrintBenchmark())
+            status = "ok"
+        except AssertionError as error:
+            status = f"SHAPE-CHECK FAILED: {error}"
+            ok = False
+        print(f"\n[{short}] {test.__name__}: {status} "
+              f"({time.time() - started:.1f}s wall)")
+    return ok
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run Solros reproduction experiments standalone.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (see --list), or 'all'",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    args = parser.parse_args(argv)
+
+    table = discover()
+    if args.list or not args.experiments:
+        print("available experiments:")
+        for short, path in table.items():
+            print(f"  {short:<24} {os.path.basename(path)}")
+        return 0
+
+    wanted = (
+        list(table) if args.experiments == ["all"] else args.experiments
+    )
+    ok = True
+    for short in wanted:
+        if short not in table:
+            print(f"unknown experiment: {short!r} (try --list)")
+            return 2
+        ok &= run_one(short, table[short])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

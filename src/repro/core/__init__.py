@@ -1,0 +1,44 @@
+"""The Solros split-OS core: control plane, data plane, policy.
+
+* :mod:`repro.core.controlplane` — the host OS: file system, buffer
+  cache, proxies, global coordination.
+* :mod:`repro.core.dataplane` — the lean co-processor OS: RPC stubs.
+* :mod:`repro.core.policy` — the P2P-vs-buffered data-path decision.
+* :mod:`repro.core.solros` — the whole-system facade.
+
+Heavy submodules are exported lazily (PEP 562) because
+:mod:`repro.fs.proxy` imports :mod:`repro.core.policy` while
+:mod:`repro.core.controlplane` imports :mod:`repro.fs` — eager imports
+here would close that cycle.
+"""
+
+from .config import SolrosConfig
+from .policy import BUFFERED, P2P, DataPathPolicy, PathDecision
+
+__all__ = [
+    "SolrosConfig",
+    "ControlPlaneOS",
+    "DataPlaneOS",
+    "SolrosSystem",
+    "DataPathPolicy",
+    "PathDecision",
+    "P2P",
+    "BUFFERED",
+]
+
+_LAZY = {
+    "ControlPlaneOS": "controlplane",
+    "DataPlaneOS": "dataplane",
+    "SolrosSystem": "solros",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(f".{_LAZY[name]}", __name__)
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,36 @@
+"""System-level configuration for a Solros deployment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..hw.params import HwParams, MB, default_params
+from ..transport.ringbuf import RingPolicy
+
+__all__ = ["SolrosConfig"]
+
+
+@dataclass
+class SolrosConfig:
+    """Everything needed to boot a simulated Solros machine."""
+
+    hw: HwParams = field(default_factory=default_params)
+    # Storage.
+    disk_blocks: int = 512 * 1024          # 2 GB of 4 KB blocks
+    max_inodes: int = 2048
+    # Shared host-side buffer cache (§4.3); None disables it.
+    buffer_cache_bytes: Optional[int] = 256 * MB
+    # Transport.
+    ring_policy: RingPolicy = field(default_factory=RingPolicy)
+    rpc_ring_bytes: int = 1 * MB
+    # Control plane staffing.
+    fs_proxy_workers: int = 4
+    net_proxy_workers: int = 2
+    # Cross-co-processor file prefetching (§4; needs the buffer cache).
+    enable_prefetch: bool = False
+    prefetch_min_accesses: int = 4
+    prefetch_min_planes: int = 2
+
+    def with_overrides(self, **kwargs) -> "SolrosConfig":
+        return replace(self, **kwargs)

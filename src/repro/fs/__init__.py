@@ -1,0 +1,69 @@
+"""File-system subsystem: Solros FS service and all baselines (§4.3).
+
+* :mod:`repro.fs.blockdev` — block device over the NVMe model.
+* :mod:`repro.fs.layout` / :mod:`repro.fs.extfs` — the extent-based,
+  in-place-update file system (ext4 stand-in).
+* :mod:`repro.fs.vfs` — the application-facing VFS (fds, O_BUFFER).
+* :mod:`repro.fs.buffercache` — the shared host buffer cache.
+* :mod:`repro.fs.ninep` — extended-9P RPC messages (zero-copy
+  Tread/Twrite).
+* :mod:`repro.fs.stub` / :mod:`repro.fs.proxy` — the Solros
+  data-plane stub and control-plane proxy.
+* :mod:`repro.fs.virtio` / :mod:`repro.fs.nfs` — the Phi-Linux
+  baselines of Figures 1(a), 11, 12.
+"""
+
+from .blockdev import BlockDevice, Extent
+from .buffercache import BufferCache, BufferCacheStats
+from .errors import (
+    BadFileDescriptor,
+    FileExists,
+    FileNotFound,
+    FsError,
+    InvalidArgument,
+    IsADirectory,
+    NoSpace,
+    NotADirectory,
+)
+from .extfs import ExtFS
+from .layout import DIRECTORY, FILE, Inode, SuperBlock
+from .localfs import LocalFsBackend
+from .nfs import NfsClientBackend
+from .proxy import ProxyStats, SolrosFsProxy
+from .stub import SolrosFsBackend
+from .vfs import O_BUFFER, O_CREAT, O_RDONLY, O_RDWR, O_TRUNC, FsBackend, Vfs
+from .virtio import VirtioBlockDevice, build_virtio_fs
+
+__all__ = [
+    "BlockDevice",
+    "Extent",
+    "BufferCache",
+    "BufferCacheStats",
+    "ExtFS",
+    "Inode",
+    "SuperBlock",
+    "FILE",
+    "DIRECTORY",
+    "LocalFsBackend",
+    "NfsClientBackend",
+    "SolrosFsProxy",
+    "ProxyStats",
+    "SolrosFsBackend",
+    "Vfs",
+    "FsBackend",
+    "O_RDONLY",
+    "O_RDWR",
+    "O_CREAT",
+    "O_TRUNC",
+    "O_BUFFER",
+    "VirtioBlockDevice",
+    "build_virtio_fs",
+    "FsError",
+    "FileNotFound",
+    "FileExists",
+    "NoSpace",
+    "IsADirectory",
+    "NotADirectory",
+    "BadFileDescriptor",
+    "InvalidArgument",
+]

@@ -1,0 +1,53 @@
+"""File-system error types (errno-flavoured)."""
+
+from __future__ import annotations
+
+__all__ = [
+    "FsError",
+    "FileNotFound",
+    "FileExists",
+    "NoSpace",
+    "IsADirectory",
+    "NotADirectory",
+    "BadFileDescriptor",
+    "InvalidArgument",
+    "ReadOnly",
+]
+
+
+class FsError(Exception):
+    """Base class for file-system errors (maps to an errno)."""
+
+    errno_name = "EIO"
+
+
+class FileNotFound(FsError):
+    errno_name = "ENOENT"
+
+
+class FileExists(FsError):
+    errno_name = "EEXIST"
+
+
+class NoSpace(FsError):
+    errno_name = "ENOSPC"
+
+
+class IsADirectory(FsError):
+    errno_name = "EISDIR"
+
+
+class NotADirectory(FsError):
+    errno_name = "ENOTDIR"
+
+
+class BadFileDescriptor(FsError):
+    errno_name = "EBADF"
+
+
+class InvalidArgument(FsError):
+    errno_name = "EINVAL"
+
+
+class ReadOnly(FsError):
+    errno_name = "EROFS"

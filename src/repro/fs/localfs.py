@@ -1,0 +1,78 @@
+"""Local backend: the VFS speaking directly to an ExtFS instance.
+
+Two roles in the evaluation:
+
+* mounted on a *host* CPU it is the "Host" configuration (the
+  maximum-possible-performance baseline of Figures 1(a), 11, 12);
+* mounted on a *Phi* CPU over a virtio block device it is the
+  "Phi-Linux (virtio)" configuration — the same code, an order of
+  magnitude slower, which is the paper's §3 point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..hw.cpu import Core
+from .errors import FileNotFound
+from .extfs import ExtFS
+from .vfs import FsBackend, O_CREAT, O_TRUNC
+
+__all__ = ["LocalFsBackend"]
+
+
+class LocalFsBackend(FsBackend):
+    """Handles are ExtFS inodes."""
+
+    name = "local"
+
+    def __init__(self, fs: ExtFS):
+        self.fs = fs
+
+    def open(self, core: Core, path: str, flags: int) -> Generator:
+        try:
+            inode = yield from self.fs.lookup(core, path)
+        except FileNotFound:
+            if not flags & O_CREAT:
+                raise
+            inode = yield from self.fs.create(core, path)
+        if flags & O_TRUNC and inode.size:
+            yield from self.fs.truncate(core, path)
+        return inode
+
+    def close(self, core: Core, handle: Any) -> Generator:
+        yield 0
+
+    def pread(self, core: Core, handle: Any, offset: int, nbytes: int) -> Generator:
+        data = yield from self.fs.read(core, handle, offset, nbytes)
+        return data
+
+    def pwrite(
+        self,
+        core: Core,
+        handle: Any,
+        offset: int,
+        data: Optional[bytes],
+        length: Optional[int],
+    ) -> Generator:
+        n = yield from self.fs.write(
+            core, handle, offset, data=data, length=length
+        )
+        return n
+
+    def fsync(self, core: Core, handle: Any) -> Generator:
+        yield from self.fs.sync(core)
+
+    def stat(self, core: Core, path: str) -> Generator:
+        result = yield from self.fs.stat(core, path)
+        return result
+
+    def unlink(self, core: Core, path: str) -> Generator:
+        yield from self.fs.unlink(core, path)
+
+    def mkdir(self, core: Core, path: str) -> Generator:
+        yield from self.fs.mkdir(core, path)
+
+    def readdir(self, core: Core, path: str) -> Generator:
+        names = yield from self.fs.readdir(core, path)
+        return names

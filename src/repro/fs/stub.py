@@ -1,0 +1,140 @@
+"""Data-plane file-system stub (§4.3.1).
+
+Runs under the co-processor VFS; transforms each file-system call 1:1
+into an extended-9P RPC to the control-plane proxy.  It never touches
+directories, disk blocks, or inodes — and for read/write it ships the
+*address* of co-processor memory (our topology node name), so the data
+itself moves by device DMA, never through the stub.
+
+Being thin is the point: per Figure 13 the stub spends ~5× less
+co-processor time than a full file system, because it only builds a
+scatter-gather description of the user buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..hw.cpu import CPU, Core
+from ..transport.rpc import RpcChannel
+from .ninep import (
+    Tclunk,
+    Tcreate,
+    Tfsync,
+    Tmkdir,
+    Topen,
+    Tread,
+    Treaddir,
+    Tremove,
+    Tstat,
+    Twrite,
+    wire_bytes,
+)
+from .vfs import FsBackend
+
+__all__ = ["SolrosFsBackend"]
+
+# Stub CPU work (host-unit ns; runs on the Phi so pays its multiplier).
+STUB_BASE_UNITS = 350          # VFS glue + RPC marshalling
+STUB_PAGE_UNITS = 120          # per-page scatter-gather construction
+
+
+class SolrosFsBackend(FsBackend):
+    """The co-processor side of the Solros file-system service."""
+
+    name = "solros"
+
+    def __init__(self, channel: RpcChannel, phi_cpu: CPU):
+        self.channel = channel
+        self.phi_cpu = phi_cpu
+        self._buffer_seq = 0
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _charge(self, core: Core, nbytes: int = 0) -> Generator:
+        pages = (nbytes + 4095) // 4096
+        yield from core.compute(
+            STUB_BASE_UNITS + STUB_PAGE_UNITS * pages, "branchy"
+        )
+
+    def _call(self, core: Core, msg: Any) -> Generator:
+        result = yield from self.channel.call(
+            core, "9p", msg, size=wire_bytes(msg)
+        )
+        return result
+
+    def _next_buffer(self) -> int:
+        self._buffer_seq += 1
+        return self._buffer_seq
+
+    # ------------------------------------------------------------------
+    # FsBackend interface
+    # ------------------------------------------------------------------
+    def open(self, core: Core, path: str, flags: int) -> Generator:
+        yield from self._charge(core)
+        fid = yield from self._call(core, Topen(path, flags))
+        return fid
+
+    def close(self, core: Core, handle: Any) -> Generator:
+        yield from self._charge(core)
+        yield from self._call(core, Tclunk(handle))
+
+    def pread(self, core: Core, handle: Any, offset: int, nbytes: int) -> Generator:
+        yield from self._charge(core, nbytes)
+        data = yield from self._call(
+            core,
+            Tread(
+                fid=handle,
+                offset=offset,
+                count=nbytes,
+                target_node=self.phi_cpu.node,
+                buffer_id=self._next_buffer(),
+            ),
+        )
+        return data
+
+    def pwrite(
+        self,
+        core: Core,
+        handle: Any,
+        offset: int,
+        data: Optional[bytes],
+        length: Optional[int],
+    ) -> Generator:
+        nbytes = len(data) if data is not None else int(length or 0)
+        yield from self._charge(core, nbytes)
+        written = yield from self._call(
+            core,
+            Twrite(
+                fid=handle,
+                offset=offset,
+                count=nbytes,
+                source_node=self.phi_cpu.node,
+                buffer_id=self._next_buffer(),
+                data=data,
+            ),
+        )
+        return written
+
+    def fsync(self, core: Core, handle: Any) -> Generator:
+        yield from self._charge(core)
+        yield from self._call(core, Tfsync(handle))
+
+    def stat(self, core: Core, path: str) -> Generator:
+        yield from self._charge(core)
+        result = yield from self._call(core, Tstat(path))
+        return result
+
+    def unlink(self, core: Core, path: str) -> Generator:
+        yield from self._charge(core)
+        yield from self._call(core, Tremove(path))
+
+    def mkdir(self, core: Core, path: str) -> Generator:
+        yield from self._charge(core)
+        yield from self._call(core, Tmkdir(path))
+
+    def readdir(self, core: Core, path: str) -> Generator:
+        yield from self._charge(core)
+        names = yield from self._call(core, Treaddir(path))
+        return names

@@ -1,0 +1,57 @@
+"""Hardware models: the simulated heterogeneous machine.
+
+The testbed of Solros §6 — host Xeons, Xeon Phi co-processors, NVMe
+SSD, and NIC on a two-NUMA-domain PCIe fabric — rebuilt as calibrated
+discrete-event cost models.  See DESIGN.md §2 for the calibration
+rationale and :mod:`repro.hw.params` for every constant's provenance.
+"""
+
+from .cpu import CPU, Core
+from .machine import Machine, build_machine
+from .memory import CoherenceStats, MemCell
+from .nic import NicDevice
+from .nvme import NvmeDevice, NvmeOp, NvmeStats
+from .params import (
+    GB,
+    HOST_CPU,
+    KB,
+    MB,
+    MS,
+    PHI_CPU,
+    US,
+    CpuParams,
+    HwParams,
+    NicParams,
+    NvmeParams,
+    PcieParams,
+    default_params,
+)
+from .topology import Fabric, NodeInfo
+
+__all__ = [
+    "CPU",
+    "Core",
+    "Machine",
+    "build_machine",
+    "MemCell",
+    "CoherenceStats",
+    "NicDevice",
+    "NvmeDevice",
+    "NvmeOp",
+    "NvmeStats",
+    "Fabric",
+    "NodeInfo",
+    "CpuParams",
+    "HwParams",
+    "NicParams",
+    "NvmeParams",
+    "PcieParams",
+    "default_params",
+    "HOST_CPU",
+    "PHI_CPU",
+    "KB",
+    "MB",
+    "GB",
+    "US",
+    "MS",
+]

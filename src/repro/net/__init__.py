@@ -1,0 +1,55 @@
+"""Network subsystem: simplified TCP, the Solros network service, and
+the Phi-Linux / Host baselines (§4.4).
+
+* :mod:`repro.net.tcp` — the TCP stack model with pluggable wires
+  (Ethernet to the host NIC; bridged-over-PCIe to a Phi).
+* :mod:`repro.net.service` — control-plane proxy, per-co-processor
+  ring channels, the data-plane event dispatcher.
+* :mod:`repro.net.socket_api` — the sockets co-processor apps use.
+* :mod:`repro.net.balancer` — shared-listening-socket policies.
+"""
+
+from .balancer import (
+    ContentBasedBalancer,
+    LeastLoadedBalancer,
+    LoadBalancer,
+    RoundRobinBalancer,
+)
+from .packets import MSS, Segment, SocketAddr
+from .service import NetChannel, NetEvent, NetStats, SolrosNetProxy
+from .socket_api import SolrosListener, SolrosNetApi, SolrosSocket
+from .tcp import (
+    BridgedPhiWire,
+    Connection,
+    EthernetWire,
+    ListenSocket,
+    LoopbackWire,
+    Network,
+    TcpHost,
+    Wire,
+)
+
+__all__ = [
+    "SocketAddr",
+    "Segment",
+    "MSS",
+    "Network",
+    "TcpHost",
+    "Connection",
+    "ListenSocket",
+    "Wire",
+    "EthernetWire",
+    "BridgedPhiWire",
+    "LoopbackWire",
+    "SolrosNetProxy",
+    "NetChannel",
+    "NetEvent",
+    "NetStats",
+    "SolrosNetApi",
+    "SolrosSocket",
+    "SolrosListener",
+    "LoadBalancer",
+    "RoundRobinBalancer",
+    "LeastLoadedBalancer",
+    "ContentBasedBalancer",
+]

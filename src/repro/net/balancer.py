@@ -1,0 +1,82 @@
+"""Load balancing for the shared listening socket (§4.4.3).
+
+Solros lets multiple co-processors listen on one address/port; the
+control-plane network proxy decides which co-processor each inbound
+connection (or, content-based, each first request) is forwarded to.
+The structure is pluggable, exactly as the paper describes:
+connection-based (round-robin), load-aware (least-loaded), or
+content-based (a user rule over the first payload, e.g. a key/value
+store's shard key).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..sim.engine import SimError
+
+__all__ = [
+    "LoadBalancer",
+    "RoundRobinBalancer",
+    "LeastLoadedBalancer",
+    "ContentBasedBalancer",
+]
+
+
+class LoadBalancer:
+    """Picks a member index for a new connection/request."""
+
+    #: True when the decision needs the first payload (the proxy then
+    #: defers forwarding until data arrives).
+    content_based = False
+
+    def pick(
+        self,
+        members: Sequence[Any],
+        loads: Sequence[int],
+        first_payload: Any = None,
+    ) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinBalancer(LoadBalancer):
+    """Connection-based round robin (the paper's implemented default)."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def pick(self, members, loads, first_payload=None) -> int:
+        if not members:
+            raise SimError("no members to balance across")
+        index = self._next % len(members)
+        self._next += 1
+        return index
+
+
+class LeastLoadedBalancer(LoadBalancer):
+    """Forward to the member with the fewest active connections
+    ("a user can use other extra information, such as load on each
+    co-processor")."""
+
+    def pick(self, members, loads, first_payload=None) -> int:
+        if not members:
+            raise SimError("no members to balance across")
+        return min(range(len(members)), key=lambda i: (loads[i], i))
+
+
+class ContentBasedBalancer(LoadBalancer):
+    """Route by the first payload (e.g. hash of a request key)."""
+
+    content_based = True
+
+    def __init__(self, rule: Callable[[Any, int], int]):
+        """``rule(first_payload, n_members) -> member index``."""
+        self.rule = rule
+
+    def pick(self, members, loads, first_payload=None) -> int:
+        if not members:
+            raise SimError("no members to balance across")
+        index = self.rule(first_payload, len(members))
+        if not 0 <= index < len(members):
+            raise SimError(f"content rule returned bad index: {index}")
+        return index

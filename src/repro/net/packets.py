@@ -1,0 +1,41 @@
+"""Wire-level message records for the simplified TCP stack."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Segment", "SocketAddr", "MSS"]
+
+MSS = 1460  # TCP payload per segment (Ethernet MTU 1500 - headers)
+
+
+@dataclass(frozen=True)
+class SocketAddr:
+    """(host, port) endpoint address."""
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"{self.host}:{self.port}"
+
+
+@dataclass
+class Segment:
+    """One logical message on a connection (1..n MSS segments).
+
+    The simulation moves whole send()-payloads as units but accounts
+    per-segment processing costs at both stacks, so message size and
+    segmentation costs behave like a real stack without simulating
+    every 1460-byte frame as a separate event.
+    """
+
+    seq: int
+    nbytes: int
+    payload: Any = None
+    fin: bool = False
+
+    @property
+    def nsegs(self) -> int:
+        return max(1, (self.nbytes + MSS - 1) // MSS)

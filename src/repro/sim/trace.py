@@ -1,0 +1,84 @@
+"""Component time accounting for latency-breakdown experiments.
+
+Figure 13 of the paper decomposes request latency into components
+(file system, block/transport, storage; network stack, proxy/transport).
+:class:`Accounting` lets simulated code attribute elapsed simulated time
+to named categories, either explicitly via :meth:`charge` or by wrapping
+a sub-generator with :meth:`timed`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Tuple
+
+from .engine import Engine
+
+__all__ = ["Accounting", "NullAccounting"]
+
+
+class Accounting:
+    """Accumulates simulated nanoseconds per named category."""
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self._categories: Dict[str, int] = {}
+        self._events: List[Tuple[int, str, int]] = []
+
+    def charge(self, category: str, ns: int) -> None:
+        """Attribute ``ns`` nanoseconds to ``category``."""
+        if ns < 0:
+            raise ValueError(f"negative charge: {ns}")
+        self._categories[category] = self._categories.get(category, 0) + ns
+
+    def timed(self, category: str, gen: Generator) -> Generator:
+        """Run sub-generator ``gen`` and charge its wall time.
+
+        Usage: ``result = yield from acct.timed("storage", dev.read(...))``.
+        """
+        start = self.engine.now
+        result = yield from gen
+        elapsed = self.engine.now - start
+        self.charge(category, elapsed)
+        self._events.append((start, category, elapsed))
+        return result
+
+    def breakdown(self) -> Dict[str, int]:
+        """Total nanoseconds per category."""
+        return dict(self._categories)
+
+    def total(self) -> int:
+        return sum(self._categories.values())
+
+    def fractions(self) -> Dict[str, float]:
+        """Per-category share of the total (empty dict if nothing charged)."""
+        total = self.total()
+        if total == 0:
+            return {}
+        return {k: v / total for k, v in self._categories.items()}
+
+    def reset(self) -> None:
+        self._categories.clear()
+        self._events.clear()
+
+
+class NullAccounting:
+    """A no-op accounting sink for hot paths that skip instrumentation."""
+
+    def charge(self, category: str, ns: int) -> None:
+        pass
+
+    def timed(self, category: str, gen: Generator) -> Generator:
+        result = yield from gen
+        return result
+
+    def breakdown(self) -> Dict[str, int]:
+        return {}
+
+    def total(self) -> int:
+        return 0
+
+    def fractions(self) -> Dict[str, float]:
+        return {}
+
+    def reset(self) -> None:
+        pass

@@ -1,0 +1,35 @@
+"""The Solros transport service and its baselines (§4.2).
+
+* :mod:`repro.transport.ringbuf` — the combining ring buffer over PCIe
+  (master/shadow placement, lazy control-variable replication, adaptive
+  memcpy/DMA copy, decoupled enqueue/copy/ready operations).
+* :mod:`repro.transport.combining` — flat combining over an MCS-style
+  request queue.
+* :mod:`repro.transport.locks` / :mod:`repro.transport.twolock` — the
+  ticket/MCS two-lock queue baselines of Figure 8.
+* :mod:`repro.transport.rpc` — request/response RPC over a ring pair,
+  the substrate of the file-system and network services.
+"""
+
+from .combining import CombiningQueue, CombiningStats
+from .locks import MCSLock, MCSNode, TicketLock
+from .ringbuf import RingBuffer, RingPolicy, RingStats, Slot
+from .rpc import RemoteCallError, RpcChannel, RpcError, RpcMessage
+from .twolock import TwoLockQueue
+
+__all__ = [
+    "RingBuffer",
+    "RingPolicy",
+    "RingStats",
+    "Slot",
+    "CombiningQueue",
+    "CombiningStats",
+    "TicketLock",
+    "MCSLock",
+    "MCSNode",
+    "TwoLockQueue",
+    "RpcChannel",
+    "RpcMessage",
+    "RpcError",
+    "RemoteCallError",
+]

@@ -1,0 +1,245 @@
+"""RPC over a pair of transport rings (§4.3.1, §4.4.1).
+
+The data-plane OS is "a minimal RPC stub": every delegated system call
+becomes one request message; the control-plane proxy pulls requests,
+executes them, and pushes results back.
+
+Ring placement follows the paper's file-system service: *both* master
+rings live in co-processor memory, so the co-processor's enqueue (and
+its response dequeue) are local memory operations while the fast host
+processor does the PCIe crossing in both directions — exploiting the
+initiator asymmetry of Figure 4.
+
+Payloads are small control messages (tens of bytes): bulk data never
+rides the RPC ring — the file-system service passes physical addresses
+for zero-copy DMA instead (§4.3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Optional, Sequence
+
+from ..hw.cpu import CPU, Core
+from ..hw.topology import Fabric
+from ..sim.engine import Engine, Event, Interrupt, SimError
+from .ringbuf import RingBuffer, RingPolicy
+
+__all__ = ["RpcChannel", "RpcMessage", "RpcError", "RemoteCallError"]
+
+DEFAULT_RING_BYTES = 1 << 20      # 1 MB control rings
+DEFAULT_MSG_BYTES = 64            # typical RPC header size
+
+
+class RpcError(SimError):
+    """Transport-level RPC failure."""
+
+
+class RemoteCallError(SimError):
+    """The server handler raised; carries the original exception."""
+
+    def __init__(self, method: str, cause: BaseException):
+        super().__init__(f"remote {method!r} failed: {cause!r}")
+        self.method = method
+        self.cause = cause
+
+
+class RpcMessage:
+    """One request or response frame."""
+
+    __slots__ = ("req_id", "method", "payload", "size", "is_error", "oneway")
+
+    def __init__(
+        self,
+        req_id: int,
+        method: str,
+        payload: Any,
+        size: int,
+        is_error: bool = False,
+        oneway: bool = False,
+    ):
+        self.req_id = req_id
+        self.method = method
+        self.payload = payload
+        self.size = size
+        self.is_error = is_error
+        self.oneway = oneway
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Rpc #{self.req_id} {self.method} {self.size}B>"
+
+
+class RpcChannel:
+    """A request ring + response ring between a client (data-plane) and
+    a server (control-plane)."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        fabric: Fabric,
+        client_cpu: CPU,
+        server_cpu: CPU,
+        policy: Optional[RingPolicy] = None,
+        ring_bytes: int = DEFAULT_RING_BYTES,
+        name: str = "rpc",
+    ):
+        self.engine = engine
+        self.fabric = fabric
+        self.client_cpu = client_cpu
+        self.server_cpu = server_cpu
+        self.name = name
+        # Both masters at the client (co-processor) — see module doc.
+        self.request_ring = RingBuffer(
+            engine,
+            fabric,
+            ring_bytes,
+            master_cpu=client_cpu,
+            sender_cpu=client_cpu,
+            receiver_cpu=server_cpu,
+            policy=policy,
+            name=f"{name}.req",
+        )
+        self.response_ring = RingBuffer(
+            engine,
+            fabric,
+            ring_bytes,
+            master_cpu=client_cpu,
+            sender_cpu=server_cpu,
+            receiver_cpu=client_cpu,
+            policy=policy,
+            name=f"{name}.resp",
+        )
+        self._next_id = 0
+        self._pending: Dict[int, Event] = {}
+        self._dispatcher: Optional[Any] = None
+        self._servers: list = []
+        self._running = True
+        self.calls = 0
+
+    # ------------------------------------------------------------------
+    # Client side (data-plane stub)
+    # ------------------------------------------------------------------
+    def start_client(self, core: Core) -> None:
+        """Launch the client's response dispatcher on ``core``."""
+        if self._dispatcher is not None:
+            raise RpcError("client dispatcher already started")
+        self._dispatcher = self.engine.spawn(
+            self._client_dispatch(core), name=f"{self.name}.cdisp"
+        )
+
+    def call(
+        self,
+        core: Core,
+        method: str,
+        payload: Any = None,
+        size: int = DEFAULT_MSG_BYTES,
+    ) -> Generator:
+        """Invoke ``method`` on the server; returns its result.
+
+        Raises :class:`RemoteCallError` if the handler raised.
+        """
+        if self._dispatcher is None:
+            raise RpcError("start_client() must be called first")
+        self._next_id += 1
+        req_id = self._next_id
+        done = self.engine.event()
+        self._pending[req_id] = done
+        self.calls += 1
+        msg = RpcMessage(req_id, method, payload, size)
+        yield from self.request_ring.send(core, msg, size)
+        response: RpcMessage = yield done
+        if response.is_error:
+            raise RemoteCallError(method, response.payload)
+        return response.payload
+
+    def notify(
+        self,
+        core: Core,
+        method: str,
+        payload: Any = None,
+        size: int = DEFAULT_MSG_BYTES,
+    ) -> Generator:
+        """Fire-and-forget message (no response expected)."""
+        self._next_id += 1
+        msg = RpcMessage(self._next_id, method, payload, size, oneway=True)
+        yield from self.request_ring.send(core, msg, size)
+
+    def _client_dispatch(self, core: Core) -> Generator:
+        try:
+            while self._running:
+                msg: RpcMessage = yield from self.response_ring.recv(core)
+                waiter = self._pending.pop(msg.req_id, None)
+                if waiter is not None:
+                    waiter.succeed(msg)
+        except Interrupt:
+            pass  # clean shutdown via stop()
+
+    # ------------------------------------------------------------------
+    # Server side (control-plane proxy)
+    # ------------------------------------------------------------------
+    def start_server(
+        self,
+        cores: Sequence[Core],
+        handler: Callable[[Core, str, Any], Generator],
+        response_size: int = DEFAULT_MSG_BYTES,
+    ) -> None:
+        """Launch one proxy worker per core.
+
+        ``handler(core, method, payload)`` is a generator returning the
+        result object; exceptions are shipped back to the caller.
+        """
+        if not cores:
+            raise RpcError("need at least one server core")
+        for core in cores:
+            proc = self.engine.spawn(
+                self._server_loop(core, handler, response_size),
+                name=f"{self.name}.srv{core.cid}",
+            )
+            self._servers.append(proc)
+
+    def _server_loop(
+        self,
+        core: Core,
+        handler: Callable[[Core, str, Any], Generator],
+        response_size: int,
+    ) -> Generator:
+        try:
+            yield from self._serve(core, handler, response_size)
+        except Interrupt:
+            pass  # clean shutdown via stop()
+
+    def _serve(
+        self,
+        core: Core,
+        handler: Callable[[Core, str, Any], Generator],
+        response_size: int,
+    ) -> Generator:
+        while self._running:
+            msg: RpcMessage = yield from self.request_ring.recv(core)
+            if msg.oneway:
+                try:
+                    yield from handler(core, msg.method, msg.payload)
+                except Exception:
+                    pass  # nowhere to report a one-way failure
+                continue
+            try:
+                result = yield from handler(core, msg.method, msg.payload)
+                reply = RpcMessage(
+                    msg.req_id, msg.method, result, response_size
+                )
+            except Exception as error:  # noqa: BLE001 - shipped to caller
+                reply = RpcMessage(
+                    msg.req_id, msg.method, error, response_size, is_error=True
+                )
+            yield from self.response_ring.send(core, reply, reply.size)
+
+    # ------------------------------------------------------------------
+    # Shutdown (tests / examples)
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Interrupt dispatcher and server loops."""
+        self._running = False
+        if self._dispatcher is not None and self._dispatcher.alive:
+            self._dispatcher.interrupt("rpc stop")
+        for proc in self._servers:
+            if proc.alive:
+                proc.interrupt("rpc stop")

@@ -1,0 +1,131 @@
+"""Tests for the split-OS core layer: system facade, configuration
+plumbing, worker-core allocation, and application isolation."""
+
+import pytest
+
+from repro.core import SolrosConfig, SolrosSystem
+from repro.fs import BadFileDescriptor, O_CREAT, O_RDWR
+from repro.sim import Engine, SimError
+from repro.transport import RingPolicy
+
+
+def test_boot_twice_rejected():
+    eng = Engine()
+    system = SolrosSystem(eng, SolrosConfig(disk_blocks=4096, max_inodes=16))
+    eng.run_process(system.boot(n_phis=1))
+    with pytest.raises(SimError, match="already booted"):
+        eng.run_process(system.boot(n_phis=1))
+
+
+def test_boot_bad_phi_count():
+    eng = Engine()
+    system = SolrosSystem(eng, SolrosConfig(disk_blocks=4096, max_inodes=16))
+    with pytest.raises(SimError):
+        eng.run_process(system.boot(n_phis=9))
+
+
+def test_unattached_dataplane_rejected():
+    eng = Engine()
+    system = SolrosSystem(eng, SolrosConfig(disk_blocks=4096, max_inodes=16))
+    eng.run_process(system.boot(n_phis=1))
+    with pytest.raises(SimError, match="not attached"):
+        system.dataplane(3)
+
+
+def test_config_ring_policy_propagates():
+    eng = Engine()
+    policy = RingPolicy(lazy_update=False, combine_max=4)
+    cfg = SolrosConfig(
+        disk_blocks=4096, max_inodes=16, ring_policy=policy
+    )
+    system = SolrosSystem(eng, cfg)
+    eng.run_process(system.boot(n_phis=1))
+    channel = system.dataplane(0).fs_channel
+    assert channel.request_ring.policy.lazy_update is False
+    assert channel.request_ring.policy.combine_max == 4
+    assert channel.response_ring.policy is policy
+
+
+def test_cache_disabled_by_config():
+    eng = Engine()
+    cfg = SolrosConfig(
+        disk_blocks=4096, max_inodes=16, buffer_cache_bytes=None
+    )
+    system = SolrosSystem(eng, cfg)
+    eng.run_process(system.boot(n_phis=1))
+    assert system.control.cache is None
+
+
+def test_prefetch_without_cache_rejected():
+    eng = Engine()
+    cfg = SolrosConfig(
+        disk_blocks=4096,
+        max_inodes=16,
+        buffer_cache_bytes=None,
+        enable_prefetch=True,
+    )
+    system = SolrosSystem(eng, cfg)
+    with pytest.raises(SimError, match="buffer_cache"):
+        eng.run_process(system.boot(n_phis=1))
+
+
+def test_worker_core_allocation_wraps():
+    eng = Engine()
+    system = SolrosSystem(eng, SolrosConfig(disk_blocks=4096, max_inodes=16))
+    eng.run_process(system.boot(n_phis=1))
+    control = system.control
+    firsts = [control.alloc_worker_cores(10) for _ in range(4)]
+    # Allocation wraps instead of running off the socket.
+    assert all(f + 10 <= len(control.host.cores) for f in firsts)
+    with pytest.raises(SimError):
+        control.alloc_worker_cores(0)
+
+
+def test_app_isolation_separate_fd_tables():
+    eng = Engine()
+    system = SolrosSystem(eng, SolrosConfig(disk_blocks=4096, max_inodes=16))
+    eng.run_process(system.boot(n_phis=1))
+    dp = system.dataplane(0)
+    app_a = dp.new_app()
+    app_b = dp.new_app()
+    core = dp.core(0)
+
+    def flow(eng):
+        fd_a = yield from app_a.open(core, "/iso", O_CREAT | O_RDWR)
+        yield from app_a.write(core, fd_a, data=b"from A")
+        # The same numeric fd means nothing in B's context.
+        try:
+            yield from app_b.pread(core, fd_a, 10, 0)
+            crossed = True
+        except BadFileDescriptor:
+            crossed = False
+        # But B can open the file by name (shared namespace).
+        fd_b = yield from app_b.open(core, "/iso")
+        data = yield from app_b.pread(core, fd_b, 10, 0)
+        yield from app_b.close(core, fd_b)
+        # B closing its fd does not invalidate A's.
+        more = yield from app_a.pread(core, fd_a, 10, 0)
+        return crossed, data, more
+
+    crossed, data, more = eng.run_process(flow(eng))
+    assert crossed is False
+    assert data == b"from A"
+    assert more == b"from A"
+
+
+def test_new_app_requires_attached_fs():
+    eng = Engine()
+    system = SolrosSystem(eng, SolrosConfig(disk_blocks=4096, max_inodes=16))
+    eng.run_process(system.boot(n_phis=1))
+    dp = system.dataplane(0)
+    dp.fs = None  # simulate a bare data plane
+    with pytest.raises(SimError, match="attach_fs"):
+        dp.new_app()
+
+
+def test_double_fs_attach_rejected():
+    eng = Engine()
+    system = SolrosSystem(eng, SolrosConfig(disk_blocks=4096, max_inodes=16))
+    eng.run_process(system.boot(n_phis=1))
+    with pytest.raises(SimError, match="already attached"):
+        system.dataplane(0).attach_fs()

@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are documentation that executes; these tests keep them green.
+Each example's ``main()`` is imported and run with stdout captured.
+"""
+
+import importlib.util
+import io
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    ("quickstart", ["proxy handled", "P2P"]),
+    ("data_path_explorer", ["cross-numa", "cache"]),
+    ("shared_socket_server", ["phi0:", "phi3:"]),
+    ("text_indexing", ["speedup", "postings"]),
+    ("image_search", ["accuracy", "neighbours"]),
+    ("transport_tour", ["rb_enqueue", "PCIe control transactions"]),
+    ("kv_store", ["recovered", "keys per shard"]),
+]
+
+
+def run_example(name: str) -> str:
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    captured = io.StringIO()
+    old_stdout = sys.stdout
+    sys.stdout = captured
+    try:
+        module.main()
+    finally:
+        sys.stdout = old_stdout
+    return captured.getvalue()
+
+
+@pytest.mark.parametrize("name,needles", EXAMPLES, ids=[e[0] for e in EXAMPLES])
+def test_example_runs_and_prints(name, needles):
+    output = run_example(name)
+    assert output.strip(), f"{name} produced no output"
+    for needle in needles:
+        assert needle in output, f"{name}: expected {needle!r} in output"

@@ -1,0 +1,212 @@
+"""Tests for the Phi-Linux baselines (virtio, NFS) and the buffer cache."""
+
+import pytest
+
+from repro.fs import (
+    BlockDevice,
+    BufferCache,
+    ExtFS,
+    LocalFsBackend,
+    NfsClientBackend,
+    O_CREAT,
+    O_RDWR,
+    Vfs,
+    build_virtio_fs,
+)
+from repro.hw import KB, MB, build_machine
+from repro.sim import Engine
+
+
+# ----------------------------------------------------------------------
+# Buffer cache
+# ----------------------------------------------------------------------
+def make_dev(eng=None):
+    eng = eng or Engine()
+    m = build_machine(eng)
+    return eng, m, BlockDevice(m.nvme, 4096)
+
+
+def test_cache_split_all_miss_then_all_hit():
+    _eng, _m, dev = make_dev()
+    cache = BufferCache(1 * MB)
+    cached, missing = cache.split_extents(dev, [(100, 8)])
+    assert cached == [] and missing == [(100, 8)]
+    cache.insert(dev, [(100, 8)])
+    cached, missing = cache.split_extents(dev, [(100, 8)])
+    assert cached == [(100, 8)] and missing == []
+
+
+def test_cache_split_partial_runs():
+    _eng, _m, dev = make_dev()
+    cache = BufferCache(1 * MB)
+    cache.insert(dev, [(10, 2), (14, 2)])       # blocks 10,11,14,15
+    cached, missing = cache.split_extents(dev, [(10, 8)])  # 10..17
+    assert cached == [(10, 2), (14, 2)]
+    assert missing == [(12, 2), (16, 2)]
+
+
+def test_cache_lru_eviction():
+    _eng, _m, dev = make_dev()
+    cache = BufferCache(4 * 4096)  # 4 blocks
+    cache.insert(dev, [(0, 4)])
+    cache.insert(dev, [(10, 1)])   # evicts block 0
+    assert not cache.contains(dev, 0)
+    assert cache.contains(dev, 3)
+    assert cache.contains(dev, 10)
+    assert cache.stats.evictions == 1
+
+
+def test_cache_invalidate():
+    _eng, _m, dev = make_dev()
+    cache = BufferCache(1 * MB)
+    cache.insert(dev, [(5, 3)])
+    cache.invalidate(dev, [(6, 1)])
+    assert cache.contains(dev, 5)
+    assert not cache.contains(dev, 6)
+    assert cache.contains(dev, 7)
+
+
+def test_cache_hit_rate_stat():
+    _eng, _m, dev = make_dev()
+    cache = BufferCache(1 * MB)
+    cache.split_extents(dev, [(0, 2)])   # 2 misses
+    cache.insert(dev, [(0, 2)])
+    cache.split_extents(dev, [(0, 2)])   # 2 hits
+    assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+# ----------------------------------------------------------------------
+# Virtio baseline
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def virtio_env():
+    eng = Engine()
+    m = build_machine(eng)
+
+    def setup(eng):
+        fs, dev = yield from build_virtio_fs(
+            eng, m.nvme, m.fabric, m.phi(0), m.host, 4096,
+            format_core=m.phi_core(0, 0),
+        )
+        return fs, dev
+
+    fs, dev = eng.run_process(setup(eng))
+    return eng, m, fs, dev
+
+
+def test_virtio_functional_roundtrip(virtio_env):
+    eng, m, fs, dev = virtio_env
+    core = m.phi_core(0, 0)
+
+    def app(eng):
+        inode = yield from fs.create(core, "/v")
+        yield from fs.write(core, inode, 0, data=b"virtio data")
+        data = yield from fs.read(core, inode, 0, 100)
+        return data
+
+    assert eng.run_process(app(eng)) == b"virtio data"
+
+
+def test_virtio_much_slower_than_host_fs():
+    """The Figure 1(a)/11 gap: same FS code, relayed device + slow cores."""
+
+    def timed(kind):
+        eng = Engine()
+        m = build_machine(eng)
+
+        def setup_and_read(eng):
+            if kind == "virtio":
+                fs, _dev = yield from build_virtio_fs(
+                    eng, m.nvme, m.fabric, m.phi(0), m.host, 8192,
+                    format_core=m.phi_core(0, 0),
+                )
+                core = m.phi_core(0, 1)
+            else:
+                dev = BlockDevice(m.nvme, 8192)
+                fs = yield from ExtFS.mkfs(m.host_core(0), dev, "numa0")
+                core = m.host_core(1)
+            inode = yield from fs.create(core, "/f")
+            yield from fs.write(core, inode, 0, length=4 * MB)
+            t0 = eng.now
+            yield from fs.read(core, inode, 0, 4 * MB)
+            return eng.now - t0
+
+        return eng.run_process(setup_and_read(eng))
+
+    t_host = timed("host")
+    t_virtio = timed("virtio")
+    # The paper reports an order of magnitude; require at least 5x.
+    assert t_virtio > 5 * t_host
+
+
+# ----------------------------------------------------------------------
+# NFS baseline
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def nfs_env():
+    eng = Engine()
+    m = build_machine(eng)
+
+    def setup(eng):
+        dev = BlockDevice(m.nvme, 8192)
+        host_fs = yield from ExtFS.mkfs(m.host_core(0), dev, "numa0")
+        return host_fs
+
+    host_fs = eng.run_process(setup(eng))
+    backend = NfsClientBackend(eng, m.fabric, m.phi(0), host_fs, m.host)
+    return eng, m, Vfs(backend), host_fs
+
+
+def test_nfs_functional_roundtrip(nfs_env):
+    eng, m, vfs, host_fs = nfs_env
+    core = m.phi_core(0, 0)
+
+    def app(eng):
+        fd = yield from vfs.open(core, "/over-nfs", O_CREAT | O_RDWR)
+        yield from vfs.write(core, fd, data=b"nfs payload " * 10)
+        data = yield from vfs.pread(core, fd, 200, 0)
+        st = yield from vfs.stat(core, "/over-nfs")
+        yield from vfs.close(core, fd)
+        return data, st
+
+    data, st = eng.run_process(app(eng))
+    assert data == b"nfs payload " * 10
+    assert st["size"] == 120
+
+
+def test_nfs_chunked_large_read(nfs_env):
+    eng, m, vfs, host_fs = nfs_env
+    core = m.phi_core(0, 0)
+
+    def app(eng):
+        fd = yield from vfs.open(core, "/big", O_CREAT | O_RDWR)
+        yield from vfs.write(core, fd, length=1 * MB)
+        data = yield from vfs.pread(core, fd, 1 * MB, 0)
+        return len(data)
+
+    assert eng.run_process(app(eng)) == 1 * MB
+
+
+def test_nfs_slower_than_direct_host(nfs_env):
+    eng, m, vfs, host_fs = nfs_env
+    phi_core = m.phi_core(0, 0)
+    host_core = m.host_core(2)
+    host_vfs = Vfs(LocalFsBackend(host_fs))
+
+    def over_nfs(eng):
+        fd = yield from vfs.open(phi_core, "/cmp", O_CREAT | O_RDWR)
+        yield from vfs.write(phi_core, fd, length=1 * MB)
+        t0 = eng.now
+        yield from vfs.pread(phi_core, fd, 1 * MB, 0)
+        return eng.now - t0
+
+    t_nfs = eng.run_process(over_nfs(eng))
+
+    def direct(eng):
+        fd = yield from host_vfs.open(host_core, "/cmp")
+        t0 = eng.now
+        yield from host_vfs.pread(host_core, fd, 1 * MB, 0)
+        return eng.now - t0
+
+    t_host = eng.run_process(direct(eng))
+    assert t_nfs > 5 * t_host

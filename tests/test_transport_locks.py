@@ -1,0 +1,179 @@
+"""Unit tests for spinlocks and the two-lock queue baseline."""
+
+import pytest
+
+from repro.hw import build_machine
+from repro.sim import Engine, WouldBlock
+from repro.transport import MCSLock, TicketLock, TwoLockQueue
+
+
+def run_workers(make_worker, n):
+    eng = Engine()
+    m = build_machine(eng)
+    ctx = {"eng": eng, "machine": m, "log": []}
+    procs = [eng.spawn(make_worker(ctx, i), name=f"w{i}") for i in range(n)]
+    eng.run()
+    assert all(p.ok for p in procs)
+    return ctx
+
+
+def test_ticket_lock_mutual_exclusion_and_fifo():
+    def make_worker(ctx, i):
+        eng, m = ctx["eng"], ctx["machine"]
+        if "lock" not in ctx:
+            ctx["lock"] = TicketLock(m.phi(0))
+        lock = ctx["lock"]
+        core = m.phi_core(0, i)
+
+        def body(eng=eng):
+            yield i * 10  # stagger arrivals to fix FIFO order
+            yield from lock.acquire(core)
+            ctx["log"].append(("enter", i))
+            yield 5_000
+            ctx["log"].append(("exit", i))
+            yield from lock.release(core)
+
+        return body()
+
+    ctx = run_workers(make_worker, 6)
+    events = ctx["log"]
+    # Perfectly nested enter/exit pairs in ticket order.
+    for j in range(0, len(events), 2):
+        assert events[j][0] == "enter"
+        assert events[j + 1][0] == "exit"
+        assert events[j][1] == events[j + 1][1]
+    order = [e[1] for e in events if e[0] == "enter"]
+    assert order == sorted(order)
+
+
+def test_mcs_lock_mutual_exclusion():
+    def make_worker(ctx, i):
+        eng, m = ctx["eng"], ctx["machine"]
+        if "lock" not in ctx:
+            ctx["lock"] = MCSLock(m.phi(0))
+            ctx["active"] = [0]
+            ctx["peak"] = [0]
+        lock = ctx["lock"]
+        core = m.phi_core(0, i)
+        node = lock.new_node()
+
+        def body(eng=eng):
+            yield from lock.acquire(core, node)
+            ctx["active"][0] += 1
+            ctx["peak"][0] = max(ctx["peak"][0], ctx["active"][0])
+            yield 3_000
+            ctx["active"][0] -= 1
+            yield from lock.release(core, node)
+
+        return body()
+
+    ctx = run_workers(make_worker, 8)
+    assert ctx["peak"][0] == 1
+
+
+def test_mcs_handoff_cheaper_than_ticket_under_contention():
+    """The Fig. 8 mechanism: MCS hands off O(1), ticket O(waiters)."""
+
+    def total_time(lock_kind, nthreads=16):
+        eng = Engine()
+        m = build_machine(eng)
+        cpu = m.phi(0)
+        if lock_kind == "ticket":
+            lock = TicketLock(cpu)
+            nodes = None
+        else:
+            lock = MCSLock(cpu)
+            nodes = [lock.new_node() for _ in range(nthreads)]
+
+        def worker(i):
+            core = cpu.core(i)
+            for _ in range(20):
+                if nodes is None:
+                    yield from lock.acquire(core)
+                    yield 100
+                    yield from lock.release(core)
+                else:
+                    yield from lock.acquire(core, nodes[i])
+                    yield 100
+                    yield from lock.release(core, nodes[i])
+
+        procs = [eng.spawn(worker(i)) for i in range(nthreads)]
+        eng.run()
+        assert all(p.ok for p in procs)
+        return eng.now
+
+    assert total_time("mcs") < total_time("ticket")
+
+
+def test_twolock_queue_fifo_and_complete():
+    eng = Engine()
+    m = build_machine(eng)
+    q = TwoLockQueue(eng, m.phi(0), capacity=1000, lock_algo="mcs")
+    received = []
+
+    def producer(i):
+        core = m.phi_core(0, i)
+        for j in range(25):
+            ok = yield from q.enqueue(core, (i, j))
+            assert ok
+
+    def consumer(i):
+        core = m.phi_core(0, 30 + i)
+        got = 0
+        while got < 25:
+            try:
+                item = yield from q.dequeue(core)
+            except WouldBlock:
+                yield 1_000
+                continue
+            received.append(item)
+            got += 1
+
+    procs = [eng.spawn(producer(i)) for i in range(4)]
+    procs += [eng.spawn(consumer(i)) for i in range(4)]
+    eng.run()
+    assert all(p.ok for p in procs)
+    assert len(received) == 100
+    # Per-producer FIFO order is preserved.
+    for i in range(4):
+        seq = [j for (p, j) in received if p == i]
+        assert seq == sorted(seq)
+
+
+def test_twolock_queue_capacity_bound():
+    eng = Engine()
+    m = build_machine(eng)
+    q = TwoLockQueue(eng, m.phi(0), capacity=3, lock_algo="ticket")
+    core = m.phi_core(0, 0)
+
+    def main(eng):
+        results = []
+        for i in range(5):
+            ok = yield from q.enqueue(core, i)
+            results.append(ok)
+        return results
+
+    assert eng.run_process(main(eng)) == [True, True, True, False, False]
+
+
+def test_twolock_queue_dequeue_empty_raises():
+    eng = Engine()
+    m = build_machine(eng)
+    q = TwoLockQueue(eng, m.phi(0), lock_algo="ticket")
+    core = m.phi_core(0, 0)
+
+    def main(eng):
+        try:
+            yield from q.dequeue(core)
+        except WouldBlock:
+            return "blocked"
+        return "got item"
+
+    assert eng.run_process(main(eng)) == "blocked"
+
+
+def test_twolock_rejects_unknown_lock():
+    eng = Engine()
+    m = build_machine(eng)
+    with pytest.raises(ValueError):
+        TwoLockQueue(eng, m.phi(0), lock_algo="rcu")
