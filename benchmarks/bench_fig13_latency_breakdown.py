@@ -25,11 +25,14 @@ def run_figure():
         "Phi-Linux": net_latency_breakdown("phi-linux"),
         "Phi-Solros": net_latency_breakdown("solros"),
     }
-    return fs, net
+    # Same breakdown, but derived from repro.obs span categories
+    # instead of the proxy's internal timers.
+    fs_spans = fs_latency_breakdown("solros", source="spans")
+    return fs, net, fs_spans
 
 
 def test_fig13_latency_breakdown(benchmark):
-    fs, net = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    fs, net, fs_spans = benchmark.pedantic(run_figure, rounds=1, iterations=1)
     rows = [
         [cfg, d["filesystem"], d["transport"], d["storage"], d["total"]]
         for cfg, d in fs.items()
@@ -72,6 +75,16 @@ def test_fig13_latency_breakdown(benchmark):
     # The stub spends several times less Phi time than the full FS
     # (paper: ~5x).
     assert 2.5 < virtio["filesystem"] / solros["filesystem"] < 10.0
+
+    # The span-derived breakdown must agree with the timer-derived one:
+    # proxy spans sit on the same clock boundaries as ProxyStats
+    # timers, so the two are equal by construction (the sim is
+    # deterministic; the epsilon only absorbs float division order).
+    for component in ("filesystem", "transport", "storage", "total"):
+        assert abs(fs_spans[component] - solros[component]) < 1e-6, (
+            f"span-derived {component} diverged from timers: "
+            f"{fs_spans[component]} vs {solros[component]}"
+        )
 
     # Network: the Phi stack term dwarfs the host stack term.
     assert net["Phi-Linux"]["stack"] > 4 * net["Phi-Solros"]["stack"]

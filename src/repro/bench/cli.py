@@ -8,6 +8,12 @@ experiment while reading the paper::
     python -m repro.bench fig08
     python -m repro.bench fig01a fig13
     python -m repro.bench all
+
+With ``--trace-out`` every Solros system built during the run records
+request-scoped spans (repro.obs) and the collected trace is written as
+Chrome/Perfetto ``trace_event`` JSON — load it at ``ui.perfetto.dev``
+or ``chrome://tracing``.  ``--metrics-out`` dumps the metric
+registries (counters/gauges/histograms/meters) as flat JSON.
 """
 
 from __future__ import annotations
@@ -53,7 +59,12 @@ class _PrintBenchmark:
 
 
 def run_one(short: str, path: str) -> bool:
-    """Import the bench module and run its test function(s)."""
+    """Import the bench module and run its test function(s).
+
+    A failed shape-check (AssertionError) or a crashed experiment
+    (any other exception) marks the run failed but never aborts it:
+    ``all`` always visits every experiment and reports at the end.
+    """
     spec = importlib.util.spec_from_file_location(f"bench_{short}", path)
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
@@ -70,6 +81,9 @@ def run_one(short: str, path: str) -> bool:
             status = "ok"
         except AssertionError as error:
             status = f"SHAPE-CHECK FAILED: {error}"
+            ok = False
+        except Exception as error:
+            status = f"ERROR: {error!r}"
             ok = False
         print(f"\n[{short}] {test.__name__}: {status} "
               f"({time.time() - started:.1f}s wall)")
@@ -89,6 +103,18 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list available experiments"
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="record repro.obs spans for every Solros system built "
+        "during the run and write a Chrome/Perfetto trace JSON here",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the collected metric registries as JSON here "
+        "(implies tracing, like --trace-out)",
+    )
     args = parser.parse_args(argv)
 
     table = discover()
@@ -101,12 +127,41 @@ def main(argv: List[str] = None) -> int:
     wanted = (
         list(table) if args.experiments == ["all"] else args.experiments
     )
-    ok = True
     for short in wanted:
         if short not in table:
             print(f"unknown experiment: {short!r} (try --list)")
             return 2
-        ok &= run_one(short, table[short])
+
+    capture = None
+    if args.trace_out or args.metrics_out:
+        from ..obs import enable_capture
+
+        capture = enable_capture()
+
+    ok = True
+    try:
+        for short in wanted:
+            ok &= run_one(short, table[short])
+    finally:
+        if capture is not None:
+            from ..obs import (
+                disable_capture,
+                write_chrome_trace,
+                write_metrics_json,
+            )
+
+            disable_capture()
+            if args.trace_out:
+                doc = write_chrome_trace(
+                    args.trace_out, capture.export_triples()
+                )
+                print(
+                    f"\nwrote {len(doc['traceEvents'])} trace events "
+                    f"-> {args.trace_out}"
+                )
+            if args.metrics_out:
+                write_metrics_json(args.metrics_out, capture.metric_pairs())
+                print(f"wrote metrics -> {args.metrics_out}")
     return 0 if ok else 1
 
 

@@ -65,13 +65,16 @@ DEFAULT_DISK_BLOCKS = 96 * 1024  # 384 MB
 class FsSetup:
     """One configured stack ready to run a workload."""
 
-    def __init__(self, engine, vfs, cores, system=None, machine=None, fs=None):
+    def __init__(
+        self, engine, vfs, cores, system=None, machine=None, fs=None, obs=None
+    ):
         self.engine = engine
         self.vfs = vfs
         self.cores = cores
         self.system = system
         self.machine = machine
         self.fs = fs  # the underlying ExtFS (for preallocation)
+        self.obs = obs  # ObservabilityHub (Solros stacks; None otherwise)
 
 
 def setup_fs_stack(
@@ -79,6 +82,7 @@ def setup_fs_stack(
     max_threads: int = 61,
     disk_blocks: int = DEFAULT_DISK_BLOCKS,
     cache_bytes: Optional[int] = 256 * MB,
+    trace: bool = False,
 ) -> FsSetup:
     """Build one of the evaluation's file-system configurations."""
     eng = Engine()
@@ -103,6 +107,7 @@ def setup_fs_stack(
             disk_blocks=disk_blocks,
             max_inodes=64,
             buffer_cache_bytes=cache_bytes,
+            trace=trace,
         )
         system = SolrosSystem(eng, cfg)
         eng.run_process(system.boot(n_phis=phi_index + 1))
@@ -112,7 +117,7 @@ def setup_fs_stack(
         cores = dp.app_cores(min(max_threads, 58))
         return FsSetup(
             eng, dp.fs, cores, system=system, machine=system.machine,
-            fs=system.control.fs,
+            fs=system.control.fs, obs=system.obs,
         )
 
     if stack == "virtio":
@@ -536,7 +541,8 @@ def net_stream_throughput(
 # Figure 13: latency breakdown
 # ----------------------------------------------------------------------
 def fs_latency_breakdown(
-    stack: str, block_size: int = 512 * KB, ops: int = 12
+    stack: str, block_size: int = 512 * KB, ops: int = 12,
+    source: str = "timers",
 ) -> Dict[str, float]:
     """Per-operation latency split (microseconds) for 512 KB random
     reads: file system vs block/transport vs storage (Figure 13(a)).
@@ -545,8 +551,17 @@ def fs_latency_breakdown(
     virtio baseline the storage term is probed with a raw NVMe read
     and the relay-transport term from the relay model, with the
     remainder attributed to the (Phi-resident) file system.
+
+    ``source`` selects where the Solros split comes from: ``"timers"``
+    reads the proxy's ``ProxyStats`` accumulators, ``"spans"`` enables
+    repro.obs tracing and derives the same numbers from the span
+    categories (``fs`` and ``device``) via ``accounting_view``.  The
+    spans sit on the same clock boundaries as the timers, so both
+    sources agree exactly — asserted by bench_fig13.
     """
-    setup = setup_fs_stack(stack, max_threads=1)
+    if source not in ("timers", "spans"):
+        raise ValueError(f"unknown breakdown source: {source!r}")
+    setup = setup_fs_stack(stack, max_threads=1, trace=(source == "spans"))
     eng = setup.engine
     file_bytes = 64 * MB
     alloc_core = (
@@ -584,8 +599,18 @@ def fs_latency_breakdown(
             * phi.params.branchy_mult
             / 1000.0
         )
-        fs_us = stats.time_fs / stats.requests / 1000.0 + stub_us
-        storage_us = stats.time_storage / max(1, stats.requests) / 1000.0
+        if source == "spans":
+            from ..obs import accounting_view
+
+            acct = accounting_view(setup.obs.tracer, eng)
+            split = acct.breakdown()
+            fs_ns = split.get("fs", 0.0)
+            storage_ns = split.get("device", 0.0)
+        else:
+            fs_ns = stats.time_fs
+            storage_ns = stats.time_storage
+        fs_us = fs_ns / stats.requests / 1000.0 + stub_us
+        storage_us = storage_ns / max(1, stats.requests) / 1000.0
         transport_us = max(0.0, total_us - fs_us - storage_us)
         setup.system.shutdown()
     elif stack == "virtio":

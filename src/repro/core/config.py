@@ -31,6 +31,11 @@ class SolrosConfig:
     enable_prefetch: bool = False
     prefetch_min_accesses: int = 4
     prefetch_min_planes: int = 2
+    # End-to-end observability (repro.obs).  Off by default: every hot
+    # path then sees the shared NullTracer and no metrics registry.
+    # ``python -m repro.bench --trace-out`` enables it globally via the
+    # capture hook instead of this flag.
+    trace: bool = False
 
     def with_overrides(self, **kwargs) -> "SolrosConfig":
         return replace(self, **kwargs)

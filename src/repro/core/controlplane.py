@@ -44,6 +44,9 @@ class ControlPlaneOS:
         self.fs_proxy: Optional[SolrosFsProxy] = None
         self.prefetcher = None
         self._next_worker_core = 0
+        # Observability hub (set by SolrosSystem before bring-up; may
+        # stay None for directly-constructed control planes).
+        self.obs = None
 
     # ------------------------------------------------------------------
     # Storage bring-up
@@ -85,6 +88,9 @@ class ControlPlaneOS:
                 min_planes=cfg.prefetch_min_planes,
             )
             self.fs_proxy.prefetcher = self.prefetcher
+        if self.obs is not None and self.obs.enabled:
+            self.fs_proxy.set_obs(self.obs.tracer, self.obs.metrics)
+            self.machine.nvme.set_obs(self.obs.tracer, self.obs.metrics)
         return self.fs
 
     def host_vfs(self) -> Vfs:

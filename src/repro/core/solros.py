@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Dict, Generator, List, Optional
 
 from ..hw.machine import Machine, build_machine
+from ..obs.hub import ObservabilityHub, active_capture
 from ..sim.engine import Engine, SimError
 from .config import SolrosConfig
 from .controlplane import ControlPlaneOS
@@ -42,7 +43,18 @@ class SolrosSystem:
         self.engine = engine
         self.config = config or SolrosConfig()
         self.machine: Machine = build_machine(engine, self.config.hw)
+        # Observability: a process-global capture (the bench CLI's
+        # --trace-out) or config.trace turns it on; otherwise the hub
+        # is disabled and components keep their NullTracer defaults.
+        capture = active_capture()
+        if capture is not None:
+            self.obs = capture.new_hub(engine, label="solros")
+        else:
+            self.obs = ObservabilityHub(
+                engine, enabled=self.config.trace, label="solros"
+            )
         self.control = ControlPlaneOS(self.machine, self.config)
+        self.control.obs = self.obs
         self._dataplanes: Dict[int, DataPlaneOS] = {}
         self._booted = False
 

@@ -89,6 +89,7 @@ class BlockDevice:
         extents: Sequence[Extent],
         target: str,
         coalesce: bool = False,
+        ctx=None,
     ) -> Generator:
         """Charge the cost of reading ``extents`` into ``target`` memory.
 
@@ -96,7 +97,9 @@ class BlockDevice:
         commands of the call share one doorbell and one interrupt.
         """
         ops = self._to_ops("read", extents, target)
-        yield from self.nvme.submit(initiator, ops, coalesce_interrupts=coalesce)
+        yield from self.nvme.submit(
+            initiator, ops, coalesce_interrupts=coalesce, ctx=ctx
+        )
 
     def submit_write(
         self,
@@ -104,10 +107,13 @@ class BlockDevice:
         extents: Sequence[Extent],
         source: str,
         coalesce: bool = False,
+        ctx=None,
     ) -> Generator:
         """Charge the cost of writing ``extents`` from ``source`` memory."""
         ops = self._to_ops("write", extents, source)
-        yield from self.nvme.submit(initiator, ops, coalesce_interrupts=coalesce)
+        yield from self.nvme.submit(
+            initiator, ops, coalesce_interrupts=coalesce, ctx=ctx
+        )
 
     # ------------------------------------------------------------------
     # Helpers

@@ -24,6 +24,7 @@ from typing import Any, Dict, Generator, Optional, Tuple
 from ..core.policy import BUFFERED, P2P, DataPathPolicy, PathDecision
 from ..hw.cpu import CPU, Core
 from ..hw.topology import Fabric
+from ..obs.tracer import NULL_TRACER
 from ..sim.engine import Engine
 from ..transport.rpc import RpcChannel
 from .buffercache import BufferCache
@@ -51,6 +52,11 @@ from .vfs import O_BUFFER, O_CREAT, O_TRUNC
 __all__ = ["SolrosFsProxy", "ProxyStats"]
 
 PROXY_OP_UNITS = 400  # per-RPC proxy bookkeeping on the host
+
+
+def _sctx(span, fallback=None):
+    """Context of ``span``, or ``fallback`` when no span was opened."""
+    return span.ctx() if span is not None else fallback
 
 
 class ProxyStats:
@@ -105,6 +111,21 @@ class SolrosFsProxy:
         # Optional cross-co-processor prefetcher (§4): set by the
         # control plane when enabled.
         self.prefetcher = None
+        # Observability (off by default).
+        self.tracer = NULL_TRACER
+        self.metrics = None
+        self._c_p2p = None
+        self._c_buffered = None
+
+    def set_obs(self, tracer, metrics=None) -> None:
+        """Attach a tracer/metrics registry (repro.obs)."""
+        self.tracer = tracer
+        self.metrics = metrics
+        if metrics is not None:
+            self._c_p2p = metrics.counter("proxy.path.p2p")
+            self._c_buffered = metrics.counter("proxy.path.buffered")
+        if self.cache is not None:
+            self.cache.set_obs(tracer, metrics)
 
     # ------------------------------------------------------------------
     # Wiring
@@ -120,8 +141,8 @@ class SolrosFsProxy:
         session = _Session(phi_cpu)
         self._sessions[id(channel)] = session
 
-        def handler(core: Core, method: str, payload: Any) -> Generator:
-            result = yield from self.handle(core, session, payload)
+        def handler(core: Core, method: str, payload: Any, ctx) -> Generator:
+            result = yield from self.handle(core, session, payload, ctx)
             return result
 
         cores = [
@@ -132,7 +153,9 @@ class SolrosFsProxy:
     # ------------------------------------------------------------------
     # Request dispatch
     # ------------------------------------------------------------------
-    def handle(self, core: Core, session: _Session, msg: Any) -> Generator:
+    def handle(
+        self, core: Core, session: _Session, msg: Any, ctx=None
+    ) -> Generator:
         self.stats.requests += 1
         yield from core.compute(PROXY_OP_UNITS, "branchy")
         if isinstance(msg, Topen):
@@ -142,9 +165,9 @@ class SolrosFsProxy:
             yield 0
             result = None
         elif isinstance(msg, Tread):
-            result = yield from self._read(core, session, msg)
+            result = yield from self._read(core, session, msg, ctx)
         elif isinstance(msg, Twrite):
-            result = yield from self._write(core, session, msg)
+            result = yield from self._write(core, session, msg, ctx)
         elif isinstance(msg, Tcreate):
             inode = yield from self.fs.create(core, msg.path)
             result = inode.ino
@@ -191,7 +214,9 @@ class SolrosFsProxy:
     # ------------------------------------------------------------------
     # Read (the Figure 6 data paths)
     # ------------------------------------------------------------------
-    def _read(self, core: Core, session: _Session, msg: Tread) -> Generator:
+    def _read(
+        self, core: Core, session: _Session, msg: Tread, ctx=None
+    ) -> Generator:
         inode, flags = self._fid(session, msg.fid)
         if inode.is_dir:
             raise IsADirectory(f"fid {msg.fid}")
@@ -201,11 +226,22 @@ class SolrosFsProxy:
             return b""
         if self.prefetcher is not None:
             self.prefetcher.record_access(inode, msg.target_node)
+        # Spans open/close at the same engine.now instants as the
+        # legacy timer regions, so the span-derived breakdown and
+        # ProxyStats agree by construction.
+        traced = self.tracer.enabled and ctx is not None
         t0 = self.engine.now
+        fs_span = (
+            self.tracer.begin("fs.fiemap", "fs", parent=ctx, core=core)
+            if traced
+            else None
+        )
         extents = yield from self.fs.fiemap(core, inode, msg.offset, count)
         decision, cached, missing = self._decide(
             msg.target_node, flags, extents
         )
+        if fs_span is not None:
+            self.tracer.end(fs_span, mode=decision.mode, extents=len(extents))
         self.stats.time_fs += self.engine.now - t0
 
         device = self.fs.device
@@ -213,29 +249,65 @@ class SolrosFsProxy:
             # Zero copy: the NVMe DMA engine lands data directly in
             # co-processor memory; one doorbell, one interrupt.
             self.stats.p2p_reads += 1
+            if self._c_p2p is not None:
+                self._c_p2p.inc()
             t1 = self.engine.now
-            yield from device.submit_read(
-                core, extents, msg.target_node, coalesce=True
+            dev_span = (
+                self.tracer.begin(
+                    "nvme.read", "device", parent=ctx, core=core,
+                    nbytes=count, path="p2p",
+                )
+                if traced
+                else None
             )
+            yield from device.submit_read(
+                core, extents, msg.target_node, coalesce=True,
+                ctx=_sctx(dev_span, ctx),
+            )
+            if dev_span is not None:
+                self.tracer.end(dev_span)
             self.stats.time_storage += self.engine.now - t1
         else:
             # Buffered: stage misses in host RAM through the shared
             # cache, then push everything with a host DMA engine.
             self.stats.buffered_reads += 1
+            if self._c_buffered is not None:
+                self._c_buffered.inc()
             pages = (count + 4095) // 4096
             yield from core.compute(FS_PAGE_UNITS * pages, "branchy")
             if missing:
                 t1 = self.engine.now
-                yield from device.submit_read(
-                    core, missing, self.host_cpu.node, coalesce=True
+                dev_span = (
+                    self.tracer.begin(
+                        "nvme.read", "device", parent=ctx, core=core,
+                        nbytes=count, path="buffered",
+                    )
+                    if traced
+                    else None
                 )
+                yield from device.submit_read(
+                    core, missing, self.host_cpu.node, coalesce=True,
+                    ctx=_sctx(dev_span, ctx),
+                )
+                if dev_span is not None:
+                    self.tracer.end(dev_span)
                 self.stats.time_storage += self.engine.now - t1
                 if self.cache is not None:
                     self.cache.insert(device, missing)
             t2 = self.engine.now
+            dma_span = (
+                self.tracer.begin(
+                    "dma.push", "transport", parent=ctx, core=core,
+                    nbytes=count,
+                )
+                if traced
+                else None
+            )
             yield from self.fabric.dma_copy(
                 core, self.host_cpu.node, msg.target_node, count
             )
+            if dma_span is not None:
+                self.tracer.end(dma_span)
             self.stats.time_transport += self.engine.now - t2
 
         self.stats.bytes_read += count
@@ -246,19 +318,29 @@ class SolrosFsProxy:
     # ------------------------------------------------------------------
     # Write
     # ------------------------------------------------------------------
-    def _write(self, core: Core, session: _Session, msg: Twrite) -> Generator:
+    def _write(
+        self, core: Core, session: _Session, msg: Twrite, ctx=None
+    ) -> Generator:
         inode, flags = self._fid(session, msg.fid)
         if inode.is_dir:
             raise IsADirectory(f"fid {msg.fid}")
         if msg.count == 0:
             yield 0
             return 0
+        traced = self.tracer.enabled and ctx is not None
         t0 = self.engine.now
+        fs_span = (
+            self.tracer.begin("fs.allocate+fiemap", "fs", parent=ctx, core=core)
+            if traced
+            else None
+        )
         yield from self.fs._ensure_allocated(core, inode, msg.offset + msg.count)
         extents = yield from self.fs.fiemap(core, inode, msg.offset, msg.count)
         decision, cached, missing = self._decide(
             msg.source_node, flags, extents
         )
+        if fs_span is not None:
+            self.tracer.end(fs_span, mode=decision.mode, extents=len(extents))
         self.stats.time_fs += self.engine.now - t0
 
         device = self.fs.device
@@ -268,27 +350,63 @@ class SolrosFsProxy:
 
         if decision.mode == P2P:
             self.stats.p2p_writes += 1
+            if self._c_p2p is not None:
+                self._c_p2p.inc()
             t1 = self.engine.now
-            yield from device.submit_write(
-                core, extents, msg.source_node, coalesce=True
+            dev_span = (
+                self.tracer.begin(
+                    "nvme.write", "device", parent=ctx, core=core,
+                    nbytes=msg.count, path="p2p",
+                )
+                if traced
+                else None
             )
+            yield from device.submit_write(
+                core, extents, msg.source_node, coalesce=True,
+                ctx=_sctx(dev_span, ctx),
+            )
+            if dev_span is not None:
+                self.tracer.end(dev_span)
             self.stats.time_storage += self.engine.now - t1
             if self.cache is not None:
                 # The DMA bypassed host RAM: stale cache copies must go.
                 self.cache.invalidate(device, extents)
         else:
             self.stats.buffered_writes += 1
+            if self._c_buffered is not None:
+                self._c_buffered.inc()
             t2 = self.engine.now
+            dma_span = (
+                self.tracer.begin(
+                    "dma.pull", "transport", parent=ctx, core=core,
+                    nbytes=msg.count,
+                )
+                if traced
+                else None
+            )
             yield from self.fabric.dma_copy(
                 core, msg.source_node, self.host_cpu.node, msg.count
             )
+            if dma_span is not None:
+                self.tracer.end(dma_span)
             self.stats.time_transport += self.engine.now - t2
             pages = (msg.count + 4095) // 4096
             yield from core.compute(FS_PAGE_UNITS * pages, "branchy")
             t1 = self.engine.now
-            yield from device.submit_write(
-                core, extents, self.host_cpu.node, coalesce=True
+            dev_span = (
+                self.tracer.begin(
+                    "nvme.write", "device", parent=ctx, core=core,
+                    nbytes=msg.count, path="buffered",
+                )
+                if traced
+                else None
             )
+            yield from device.submit_write(
+                core, extents, self.host_cpu.node, coalesce=True,
+                ctx=_sctx(dev_span, ctx),
+            )
+            if dev_span is not None:
+                self.tracer.end(dev_span)
             self.stats.time_storage += self.engine.now - t1
             if self.cache is not None:
                 self.cache.insert(device, extents)

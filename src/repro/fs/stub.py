@@ -39,6 +39,10 @@ STUB_BASE_UNITS = 350          # VFS glue + RPC marshalling
 STUB_PAGE_UNITS = 120          # per-page scatter-gather construction
 
 
+def _sctx(span):
+    return span.ctx() if span is not None else None
+
+
 class SolrosFsBackend(FsBackend):
     """The co-processor side of the Solros file-system service."""
 
@@ -58,9 +62,25 @@ class SolrosFsBackend(FsBackend):
             STUB_BASE_UNITS + STUB_PAGE_UNITS * pages, "branchy"
         )
 
-    def _call(self, core: Core, msg: Any) -> Generator:
+    def _root(self, core: Core, op: str, **attrs):
+        """Open the request's root span (one per delegated syscall).
+
+        The stub is where a Solros request is born, so its span is the
+        trace root; everything downstream (ring phases, proxy, devices)
+        hangs off the context returned here.  None when tracing is off.
+        """
+        tracer = self.channel.tracer
+        if not tracer.enabled:
+            return None
+        return tracer.begin(f"fs.{op}", "stub", parent=None, core=core, **attrs)
+
+    def _finish(self, span, **attrs) -> None:
+        if span is not None:
+            self.channel.tracer.end(span, **attrs)
+
+    def _call(self, core: Core, msg: Any, ctx=None) -> Generator:
         result = yield from self.channel.call(
-            core, "9p", msg, size=wire_bytes(msg)
+            core, "9p", msg, size=wire_bytes(msg), ctx=ctx
         )
         return result
 
@@ -72,27 +92,40 @@ class SolrosFsBackend(FsBackend):
     # FsBackend interface
     # ------------------------------------------------------------------
     def open(self, core: Core, path: str, flags: int) -> Generator:
-        yield from self._charge(core)
-        fid = yield from self._call(core, Topen(path, flags))
-        return fid
+        span = self._root(core, "open", path=path)
+        try:
+            yield from self._charge(core)
+            fid = yield from self._call(core, Topen(path, flags), ctx=_sctx(span))
+            return fid
+        finally:
+            self._finish(span)
 
     def close(self, core: Core, handle: Any) -> Generator:
-        yield from self._charge(core)
-        yield from self._call(core, Tclunk(handle))
+        span = self._root(core, "close")
+        try:
+            yield from self._charge(core)
+            yield from self._call(core, Tclunk(handle), ctx=_sctx(span))
+        finally:
+            self._finish(span)
 
     def pread(self, core: Core, handle: Any, offset: int, nbytes: int) -> Generator:
-        yield from self._charge(core, nbytes)
-        data = yield from self._call(
-            core,
-            Tread(
-                fid=handle,
-                offset=offset,
-                count=nbytes,
-                target_node=self.phi_cpu.node,
-                buffer_id=self._next_buffer(),
-            ),
-        )
-        return data
+        span = self._root(core, "pread", offset=offset, nbytes=nbytes)
+        try:
+            yield from self._charge(core, nbytes)
+            data = yield from self._call(
+                core,
+                Tread(
+                    fid=handle,
+                    offset=offset,
+                    count=nbytes,
+                    target_node=self.phi_cpu.node,
+                    buffer_id=self._next_buffer(),
+                ),
+                ctx=_sctx(span),
+            )
+            return data
+        finally:
+            self._finish(span)
 
     def pwrite(
         self,
@@ -103,38 +136,63 @@ class SolrosFsBackend(FsBackend):
         length: Optional[int],
     ) -> Generator:
         nbytes = len(data) if data is not None else int(length or 0)
-        yield from self._charge(core, nbytes)
-        written = yield from self._call(
-            core,
-            Twrite(
-                fid=handle,
-                offset=offset,
-                count=nbytes,
-                source_node=self.phi_cpu.node,
-                buffer_id=self._next_buffer(),
-                data=data,
-            ),
-        )
-        return written
+        span = self._root(core, "pwrite", offset=offset, nbytes=nbytes)
+        try:
+            yield from self._charge(core, nbytes)
+            written = yield from self._call(
+                core,
+                Twrite(
+                    fid=handle,
+                    offset=offset,
+                    count=nbytes,
+                    source_node=self.phi_cpu.node,
+                    buffer_id=self._next_buffer(),
+                    data=data,
+                ),
+                ctx=_sctx(span),
+            )
+            return written
+        finally:
+            self._finish(span)
 
     def fsync(self, core: Core, handle: Any) -> Generator:
-        yield from self._charge(core)
-        yield from self._call(core, Tfsync(handle))
+        span = self._root(core, "fsync")
+        try:
+            yield from self._charge(core)
+            yield from self._call(core, Tfsync(handle), ctx=_sctx(span))
+        finally:
+            self._finish(span)
 
     def stat(self, core: Core, path: str) -> Generator:
-        yield from self._charge(core)
-        result = yield from self._call(core, Tstat(path))
-        return result
+        span = self._root(core, "stat", path=path)
+        try:
+            yield from self._charge(core)
+            result = yield from self._call(core, Tstat(path), ctx=_sctx(span))
+            return result
+        finally:
+            self._finish(span)
 
     def unlink(self, core: Core, path: str) -> Generator:
-        yield from self._charge(core)
-        yield from self._call(core, Tremove(path))
+        span = self._root(core, "unlink", path=path)
+        try:
+            yield from self._charge(core)
+            yield from self._call(core, Tremove(path), ctx=_sctx(span))
+        finally:
+            self._finish(span)
 
     def mkdir(self, core: Core, path: str) -> Generator:
-        yield from self._charge(core)
-        yield from self._call(core, Tmkdir(path))
+        span = self._root(core, "mkdir", path=path)
+        try:
+            yield from self._charge(core)
+            yield from self._call(core, Tmkdir(path), ctx=_sctx(span))
+        finally:
+            self._finish(span)
 
     def readdir(self, core: Core, path: str) -> Generator:
-        yield from self._charge(core)
-        names = yield from self._call(core, Treaddir(path))
-        return names
+        span = self._root(core, "readdir", path=path)
+        try:
+            yield from self._charge(core)
+            names = yield from self._call(core, Treaddir(path), ctx=_sctx(span))
+            return names
+        finally:
+            self._finish(span)

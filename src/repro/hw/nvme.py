@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator, List, Optional, Sequence
 
+from ..obs.tracer import NULL_TRACER
 from ..sim.engine import Engine, SimError
 from ..sim.resources import BandwidthLink, Resource
 from .cpu import CPU, Core
@@ -96,6 +97,15 @@ class NvmeDevice:
         )
         self._slots = Resource(engine, capacity=p.parallelism, name=f"{node}.slots")
         self.stats = NvmeStats()
+        # Observability (off by default).
+        self.tracer = NULL_TRACER
+        self._h_cmd_bytes = None
+
+    def set_obs(self, tracer, metrics=None) -> None:
+        """Attach a tracer/metrics registry (repro.obs)."""
+        self.tracer = tracer
+        if metrics is not None:
+            self._h_cmd_bytes = metrics.histogram(f"nvme.{self.node}.cmd_bytes")
 
     # ------------------------------------------------------------------
     # Command preparation
@@ -122,6 +132,7 @@ class NvmeDevice:
         initiator: Core,
         ops: Sequence[NvmeOp],
         coalesce_interrupts: bool = False,
+        ctx=None,
     ) -> Generator:
         """Submit ``ops``, wait for all data movement and completion.
 
@@ -147,7 +158,9 @@ class NvmeDevice:
             yield from self.fabric.remote_tx(initiator, 1)  # one doorbell
             self.stats.doorbells += 1
             workers = [
-                self.engine.spawn(self._execute(cmd), name=f"nvme-{cmd.op}")
+                self.engine.spawn(
+                    self._execute(cmd, ctx=ctx), name=f"nvme-{cmd.op}"
+                )
                 for cmd in cmds
             ]
             yield self.engine.all_of(workers)
@@ -159,7 +172,8 @@ class NvmeDevice:
                 self.stats.doorbells += 1
                 workers.append(
                     self.engine.spawn(
-                        self._execute(cmd, interrupt=True), name=f"nvme-{cmd.op}"
+                        self._execute(cmd, interrupt=True, ctx=ctx),
+                        name=f"nvme-{cmd.op}",
                     )
                 )
             yield self.engine.all_of(workers)
@@ -167,8 +181,18 @@ class NvmeDevice:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _execute(self, cmd: NvmeOp, interrupt: bool = False) -> Generator:
+    def _execute(self, cmd: NvmeOp, interrupt: bool = False, ctx=None) -> Generator:
         p = self.params
+        span = None
+        if self.tracer.enabled and ctx is not None:
+            # One span per NVMe command; parallel commands overlap, so
+            # per-category accounting must use interval unions.
+            span = self.tracer.begin(
+                f"nvme.cmd.{cmd.op}", "device", parent=ctx,
+                nbytes=cmd.nbytes, target=cmd.target,
+            )
+        if self._h_cmd_bytes is not None:
+            self._h_cmd_bytes.record(cmd.nbytes)
         yield self._slots.request()
         try:
             self.stats.commands += 1
@@ -189,6 +213,8 @@ class NvmeDevice:
                 self.stats.bytes_written += cmd.nbytes
         finally:
             self._slots.release()
+        if span is not None:
+            self.tracer.end(span)
         if interrupt:
             yield from self._interrupt()
 

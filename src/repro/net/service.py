@@ -25,6 +25,7 @@ from typing import Any, Dict, Generator, List, Optional
 
 from ..core.dataplane import DataPlaneOS
 from ..hw.cpu import CPU, Core
+from ..obs.tracer import NULL_TRACER
 from ..sim.engine import Engine, Interrupt, SimError
 from ..sim.primitives import Store
 from ..transport.ringbuf import RingBuffer, RingPolicy
@@ -125,6 +126,15 @@ class NetChannel:
         self.sock_stores: Dict[int, Store] = {}
         self.listener_stores: Dict[int, Store] = {}
         self.dispatcher = None
+        # Observability (off by default).
+        self.tracer = NULL_TRACER
+
+    def set_obs(self, tracer, metrics=None) -> None:
+        """Attach a tracer/metrics registry to the RPC + both rings."""
+        self.tracer = tracer
+        self.rpc.set_obs(tracer, metrics)
+        self.outbound.set_obs(tracer, metrics)
+        self.inbound.set_obs(tracer, metrics)
 
     def route_store(self, sock_id: int) -> Store:
         store = self.sock_stores.get(sock_id)
@@ -163,6 +173,22 @@ class SolrosNetProxy:
         self._procs: list = []
         self._running = True
         self._worker_core_base = 8
+        # Observability (off by default).
+        self.tracer = NULL_TRACER
+        self.metrics = None
+        self._m_out = None
+        self._m_in = None
+
+    def set_obs(self, tracer, metrics=None) -> None:
+        """Attach a tracer/metrics registry; applied to every channel
+        already attached and to channels attached later."""
+        self.tracer = tracer
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_out = metrics.meter("net.outbound")
+            self._m_in = metrics.meter("net.inbound")
+        for channel in self.channels.values():
+            channel.set_obs(tracer, metrics)
 
     # ------------------------------------------------------------------
     # Attachment
@@ -178,6 +204,10 @@ class SolrosNetProxy:
         phi_index = dataplane.phi_index
         if phi_index in self.channels:
             raise SimError(f"phi{phi_index} already attached to net service")
+        # Inherit the system's observability hub on first attachment.
+        obs = getattr(dataplane.control, "obs", None)
+        if obs is not None and obs.enabled and not self.tracer.enabled:
+            self.set_obs(obs.tracer, obs.metrics)
         channel = NetChannel(
             self.engine,
             self.fabric,
@@ -188,6 +218,8 @@ class SolrosNetProxy:
         )
         self.channels[phi_index] = channel
         self.loads[phi_index] = 0
+        if self.tracer.enabled or self.metrics is not None:
+            channel.set_obs(self.tracer, self.metrics)
 
         # Control RPC servicing.
         channel.rpc.start_client(dataplane.cpu.cores[-2])
@@ -368,10 +400,23 @@ class SolrosNetProxy:
             if psock is None:
                 continue  # raced with close
             if op == "send":
-                _, _, payload, nbytes = msg
+                payload, nbytes = msg[2], msg[3]
+                # Trace-aware stubs append the request context as a
+                # fifth element; legacy 4-tuples still unpack fine.
+                ctx = msg[4] if len(msg) > 4 else None
+                span = None
+                if self.tracer.enabled and ctx is not None:
+                    span = self.tracer.begin(
+                        "net.tcp_send", "net", parent=ctx, core=core,
+                        nbytes=nbytes,
+                    )
                 yield from psock.conn.send(core, payload, nbytes)
+                if span is not None:
+                    self.tracer.end(span)
                 self.stats.messages_out += 1
                 self.stats.bytes_out += nbytes
+                if self._m_out is not None:
+                    self._m_out.add(nbytes)
             elif op == "close":
                 yield from psock.conn.close(core)
                 self._teardown(psock)
@@ -395,6 +440,8 @@ class SolrosNetProxy:
             )
             self.stats.messages_in += 1
             self.stats.bytes_in += nbytes
+            if self._m_in is not None:
+                self._m_in.add(nbytes)
 
     def _teardown(self, psock: _ProxySock) -> None:
         if psock.sock_id in self.socks:

@@ -49,12 +49,23 @@ class SolrosNetApi:
     # ------------------------------------------------------------------
     def connect(self, core: Core, addr: SocketAddr) -> Generator:
         """Open an outbound connection; returns a SolrosSocket."""
-        yield from core.syscall()
-        yield from core.compute(STUB_NET_UNITS, "branchy")
-        sock_id = yield from self.channel.rpc.call(
-            core, "net", ("connect", addr)
+        tracer = self.channel.tracer
+        span = (
+            tracer.begin("net.connect", "net", parent=None, core=core)
+            if tracer.enabled
+            else None
         )
-        return SolrosSocket(self, sock_id)
+        try:
+            yield from core.syscall()
+            yield from core.compute(STUB_NET_UNITS, "branchy")
+            sock_id = yield from self.channel.rpc.call(
+                core, "net", ("connect", addr),
+                ctx=span.ctx() if span is not None else None,
+            )
+            return SolrosSocket(self, sock_id)
+        finally:
+            if span is not None:
+                tracer.end(span)
 
     def listen(
         self,
@@ -124,13 +135,29 @@ class SolrosSocket:
             raise BrokenPipeError("send on closed socket")
         if nbytes < 0:
             raise SimError(f"negative send size: {nbytes}")
-        yield from core.syscall()
-        yield from core.compute(STUB_NET_UNITS, "branchy")
-        yield from self.api.channel.outbound.send(
-            core,
-            ("send", self.sock_id, payload, nbytes),
-            nbytes + EVENT_HDR_BYTES,
+        tracer = self.api.channel.tracer
+        span = (
+            tracer.begin(
+                "net.send", "net", parent=None, core=core, nbytes=nbytes
+            )
+            if tracer.enabled
+            else None
         )
+        try:
+            yield from core.syscall()
+            yield from core.compute(STUB_NET_UNITS, "branchy")
+            ctx = span.ctx() if span is not None else None
+            record = (
+                ("send", self.sock_id, payload, nbytes, ctx)
+                if ctx is not None
+                else ("send", self.sock_id, payload, nbytes)
+            )
+            yield from self.api.channel.outbound.send(
+                core, record, nbytes + EVENT_HDR_BYTES, ctx=ctx
+            )
+        finally:
+            if span is not None:
+                tracer.end(span)
 
     def recv(self, core: Core) -> Generator:
         """Block for the next message; ``(None, 0)`` on EOF.
@@ -140,13 +167,25 @@ class SolrosSocket:
         """
         if self._eof:
             return None, 0
+        tracer = self.api.channel.tracer
+        span = (
+            tracer.begin("net.recv", "net", parent=None, core=core)
+            if tracer.enabled
+            else None
+        )
         yield from core.syscall()
         store = self.api.channel.route_store(self.sock_id)
         event, slot = yield store.get()
         yield from core.compute(STUB_NET_UNITS, "branchy")
         ring = self.api.channel.inbound
+        if span is not None and slot.trace is None:
+            # Inbound events carry no sender context; adopt ours so the
+            # copy-out phase appears under this recv.
+            slot.trace = span.ctx()
         yield from ring.copy_from(core, slot)
         yield from ring.set_done(core, slot)
+        if span is not None:
+            tracer.end(span, nbytes=event.nbytes, kind=event.kind)
         if event.kind == "eof":
             self._eof = True
             self.api.channel.sock_stores.pop(self.sock_id, None)

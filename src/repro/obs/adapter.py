@@ -1,0 +1,33 @@
+"""Bridging the span world back to the legacy ``Accounting`` sink.
+
+``repro.sim.trace.Accounting`` predates the tracer: it accumulates
+simulated nanoseconds per named category with no request structure.
+Figure-13-style consumers that still speak ``breakdown()`` get it here
+as a thin view over a tracer — per-category wall time derived from the
+span intervals — so the legacy figure and the tracer agree by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.trace import Accounting
+from .tracer import Tracer
+
+__all__ = ["accounting_view"]
+
+
+def accounting_view(
+    tracer: Tracer, engine, trace_id: Optional[int] = None
+) -> Accounting:
+    """An :class:`Accounting` charged from the tracer's spans.
+
+    Categories are charged their interval-union wall time (parallel or
+    nested spans of one category count once), which is exactly what the
+    proxy's legacy per-region timers measured.
+    """
+    acct = Accounting(engine)
+    for category, ns in sorted(tracer.category_union_ns(trace_id).items()):
+        acct.charge(category, ns)
+    return acct

@@ -1,0 +1,142 @@
+"""Exporters: Chrome/Perfetto ``trace_event`` JSON and flat metrics JSON.
+
+The trace format is the Trace Event Format consumed by
+``chrome://tracing`` and https://ui.perfetto.dev: a ``traceEvents``
+array of complete (``"ph": "X"``) duration events with microsecond
+timestamps, plus metadata events naming processes/threads and counter
+(``"ph": "C"``) events for gauge time series.
+
+One exported *process* (pid) corresponds to one traced simulation
+(one :class:`~repro.obs.ObservabilityHub`); *threads* (tid) are the
+simulated execution tracks (``cpu.core``) spans ran on.  Span args
+carry ``trace``/``span``/``parent`` ids so a request's causal tree can
+be followed across tracks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .metrics import Gauge, MetricsRegistry
+from .tracer import Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "metrics_json",
+    "write_metrics_json",
+]
+
+
+def _span_event(span: Span, pid: int, tid: int) -> Dict[str, Any]:
+    args: Dict[str, Any] = {
+        "trace": span.trace_id,
+        "span": span.span_id,
+    }
+    if span.parent_id is not None:
+        args["parent"] = span.parent_id
+    if span.attrs:
+        args.update(span.attrs)
+    return {
+        "name": span.name,
+        "cat": span.category,
+        "ph": "X",
+        "ts": span.start_ns / 1000.0,      # trace_event ts is in usec
+        "dur": span.duration_ns / 1000.0,
+        "pid": pid,
+        "tid": tid,
+        "args": args,
+    }
+
+
+def _counter_events(gauge: Gauge, pid: int) -> List[Dict[str, Any]]:
+    return [
+        {
+            "name": gauge.name,
+            "ph": "C",
+            "ts": ts / 1000.0,
+            "pid": pid,
+            "tid": 0,
+            "args": {"value": value},
+        }
+        for ts, value in gauge.series()
+    ]
+
+
+def chrome_trace(
+    hubs: Sequence[Tuple[str, Tracer, Optional[MetricsRegistry]]],
+) -> Dict[str, Any]:
+    """Build one trace_event document from ``(label, tracer, metrics)``
+    triples — one pid per triple."""
+    events: List[Dict[str, Any]] = []
+    dropped = 0
+    for pid, (label, tracer, metrics) in enumerate(hubs, start=1):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+        tids: Dict[str, int] = {}
+        for span in tracer.finished_spans():
+            tid = tids.get(span.track)
+            if tid is None:
+                tid = len(tids) + 1
+                tids[span.track] = tid
+                events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": tid,
+                        "args": {"name": span.track},
+                    }
+                )
+            events.append(_span_event(span, pid, tid))
+        dropped += getattr(tracer, "dropped", 0)
+        if metrics is not None:
+            for name in metrics.names():
+                metric = metrics.get(name)
+                if isinstance(metric, Gauge):
+                    events.extend(_counter_events(metric, pid))
+    doc: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "source": "repro.obs",
+            "clock": "simulated-ns",
+        },
+    }
+    if dropped:
+        doc["otherData"]["dropped_spans"] = dropped
+    return doc
+
+
+def write_chrome_trace(
+    path: str,
+    hubs: Sequence[Tuple[str, Tracer, Optional[MetricsRegistry]]],
+) -> Dict[str, Any]:
+    doc = chrome_trace(hubs)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return doc
+
+
+def metrics_json(
+    registries: Sequence[Tuple[str, MetricsRegistry]],
+) -> Dict[str, Any]:
+    """Flat metrics document: ``{label: {metric_name: snapshot}}``."""
+    return {label: registry.snapshot() for label, registry in registries}
+
+
+def write_metrics_json(
+    path: str, registries: Sequence[Tuple[str, MetricsRegistry]]
+) -> Dict[str, Any]:
+    doc = metrics_json(registries)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+    return doc

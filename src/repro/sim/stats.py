@@ -95,29 +95,57 @@ def cdf_points(
 
 
 class Histogram:
-    """Log2-bucketed histogram for latencies spanning orders of magnitude."""
+    """Log2-bucketed histogram for latencies spanning orders of magnitude.
+
+    Values in ``[0, 1)`` get their own sub-unit bucket, reported as the
+    ``(0, 1)`` range; values ``>= 1`` land in ``[2**k, 2**(k+1))``.
+    """
 
     def __init__(self) -> None:
         self._buckets: Dict[int, int] = {}
         self._count = 0
+        self._sum = 0.0
 
     def record(self, value: float) -> None:
         if value < 0:
             raise ValueError("histogram values must be >= 0")
-        bucket = 0 if value < 1 else int(math.log2(value))
+        bucket = -1 if value < 1 else int(math.log2(value))
         self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
         self._count += 1
+        self._sum += value
 
     @property
     def count(self) -> int:
         return self._count
 
+    @property
+    def total(self) -> float:
+        """Sum of all recorded values."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
     def buckets(self) -> List[Tuple[int, int, int]]:
-        """Sorted ``(low, high, count)`` rows (low/high in value units)."""
+        """Sorted ``(low, high, count)`` rows (low/high in value units).
+
+        The sub-unit bucket reports ``(0, 1)`` — it holds every value
+        in ``[0, 1)``, not the ``[1, 2)`` range of bucket 0.
+        """
         rows = []
         for bucket in sorted(self._buckets):
-            rows.append((2**bucket, 2 ** (bucket + 1), self._buckets[bucket]))
+            if bucket < 0:
+                low, high = 0, 1
+            else:
+                low, high = 2**bucket, 2 ** (bucket + 1)
+            rows.append((low, high, self._buckets[bucket]))
         return rows
+
+    def reset(self) -> None:
+        self._buckets.clear()
+        self._count = 0
+        self._sum = 0.0
 
 
 class ThroughputMeter:
@@ -125,15 +153,54 @@ class ThroughputMeter:
 
     Benchmarks call :meth:`add` during the run and :meth:`gbps` /
     :meth:`ops_per_sec` at the end with the elapsed simulated time.
+
+    For periodic gauges (the ``repro.obs`` metrics layer), the meter
+    also supports *interval* rates: :meth:`interval` reports the rate
+    since the previous mark and advances the mark, so one meter serves
+    both cumulative and per-interval reporting without duplicated math.
     """
 
     def __init__(self) -> None:
         self.bytes = 0
         self.ops = 0
+        self._mark_ns = 0
+        self._mark_bytes = 0
+        self._mark_ops = 0
 
     def add(self, nbytes: int = 0, nops: int = 1) -> None:
         self.bytes += nbytes
         self.ops += nops
+
+    def reset(self) -> None:
+        """Clear totals and the interval mark."""
+        self.bytes = 0
+        self.ops = 0
+        self._mark_ns = 0
+        self._mark_bytes = 0
+        self._mark_ops = 0
+
+    def interval(self, now_ns: int) -> Dict[str, float]:
+        """Rates over ``[last mark, now_ns]``; advances the mark.
+
+        Returns ``{"bytes", "ops", "gb_per_sec", "ops_per_sec"}`` for
+        the interval.  A zero-length interval reports zero rates.
+        """
+        if now_ns < self._mark_ns:
+            raise ValueError(
+                f"interval mark moved backwards: {now_ns} < {self._mark_ns}"
+            )
+        dt = now_ns - self._mark_ns
+        dbytes = self.bytes - self._mark_bytes
+        dops = self.ops - self._mark_ops
+        self._mark_ns = now_ns
+        self._mark_bytes = self.bytes
+        self._mark_ops = self.ops
+        return {
+            "bytes": float(dbytes),
+            "ops": float(dops),
+            "gb_per_sec": dbytes / dt if dt > 0 else 0.0,
+            "ops_per_sec": dops * 1e9 / dt if dt > 0 else 0.0,
+        }
 
     def gb_per_sec(self, elapsed_ns: int) -> float:
         """Throughput in GB/s (decimal GB, matching the paper's axes)."""

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Optional
 
 from ..hw.cpu import CPU, Core
+from ..obs.tracer import NULL_TRACER
 
 __all__ = ["CombiningQueue", "CombiningStats"]
 
@@ -88,18 +89,37 @@ class CombiningQueue:
         self._tail = cpu.new_cell(None, name=f"{name}.tail")
         self._seq = 0
         self.stats = CombiningStats()
+        # Observability (off by default).
+        self.tracer = NULL_TRACER
+        self._h_batch = None
 
-    def execute(self, core: Core, op: Callable[[Core], Generator]) -> Generator:
+    def set_obs(self, tracer, metrics=None) -> None:
+        """Attach a tracer/metrics registry (repro.obs)."""
+        self.tracer = tracer
+        if metrics is not None:
+            self._h_batch = metrics.histogram(f"combining.{self.name}.batch")
+
+    def execute(
+        self, core: Core, op: Callable[[Core], Generator], ctx=None
+    ) -> Generator:
         """Run ``op`` under combining; returns the op's result."""
         self._seq += 1
         req = _Request(self.cpu, core, op, self._seq, self.name)
         prev: Optional[_Request] = yield from self._tail.swap(core, req)
         if prev is not None:
+            span = None
+            if self.tracer.enabled and ctx is not None:
+                span = self.tracer.begin(
+                    "combining.wait", "transport", parent=ctx, core=core,
+                    queue=self.name,
+                )
             # Join the queue behind prev and spin on our own line.
             yield from prev.next.store(core, req)
             status = yield from req.status.wait_until(
                 core, lambda v: v != _WAITING
             )
+            if span is not None:
+                self.tracer.end(span, combined=status == _DONE)
             if status == _DONE:
                 return req.result
             # We were promoted to combiner: our op is still pending.
@@ -134,6 +154,8 @@ class CombiningQueue:
                 if closed:
                     if current is not first:
                         yield from current.status.store(core, _DONE)
+                    if self._h_batch is not None:
+                        self._h_batch.record(processed)
                     yield from self._finish_batch(core)
                     return
                 # A joiner is mid-link; wait for the pointer.
@@ -147,6 +169,8 @@ class CombiningQueue:
             if processed >= self.combine_max:
                 # Hand the combiner role to the successor.
                 self.stats.handoffs += 1
+                if self._h_batch is not None:
+                    self._h_batch.record(processed)
                 yield from self._finish_batch(core)
                 yield from successor.status.store(core, _COMBINER)
                 return

@@ -39,6 +39,7 @@ from typing import Any, Deque, Generator, Optional
 
 from ..hw.cpu import CPU, Core
 from ..hw.topology import Fabric
+from ..obs.tracer import NULL_TRACER
 from ..sim.engine import Engine, SimError
 from .combining import CombiningQueue
 from .locks import MCSLock
@@ -105,15 +106,23 @@ class RingStats:
 
 
 class Slot:
-    """One variable-size element in the ring."""
+    """One variable-size element in the ring.
 
-    __slots__ = ("seq", "size", "data", "state")
+    ``trace`` carries the sender's span context across the ring (the
+    transport-level trace propagation of ``repro.obs``); ``qspan`` is
+    the open queued-residency span, ended when the receiver claims the
+    slot.  Both stay None when tracing is off.
+    """
+
+    __slots__ = ("seq", "size", "data", "state", "trace", "qspan")
 
     def __init__(self, seq: int, size: int):
         self.seq = seq
         self.size = size
         self.data: Any = None
         self.state = _RESERVED
+        self.trace = None
+        self.qspan = None
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Slot #{self.seq} {self.size}B {self.state}>"
@@ -137,9 +146,9 @@ class _Side:
             self._nodes = {}
             self.on_batch_end = on_batch_end
 
-    def execute(self, core: Core, op) -> Generator:
+    def execute(self, core: Core, op, ctx=None) -> Generator:
         if self.combining:
-            result = yield from self.queue.execute(core, op)
+            result = yield from self.queue.execute(core, op, ctx=ctx)
             return result
         node = self._nodes.get(core.cid)
         if node is None:
@@ -182,6 +191,12 @@ class RingBuffer:
         self.policy = policy or RingPolicy()
         self.name = name
         self.stats = RingStats()
+        # Observability (off by default: NullTracer + no metrics).
+        self.tracer = NULL_TRACER
+        self.metrics = None
+        self._g_occupancy = None
+        self._c_dma = None
+        self._c_memcpy = None
 
         # Functional truth (mutated only inside side-serialized ops).
         self._seq = 0
@@ -212,6 +227,25 @@ class RingBuffer:
         self._deq_side = _Side(
             receiver_cpu, self.policy, f"{name}.deq", self._push_head
         )
+
+    # ------------------------------------------------------------------
+    # Observability wiring
+    # ------------------------------------------------------------------
+    def set_obs(self, tracer, metrics=None) -> None:
+        """Attach a tracer/metrics registry (repro.obs)."""
+        self.tracer = tracer
+        self.metrics = metrics
+        if metrics is not None:
+            self._g_occupancy = metrics.gauge(f"ring.{self.name}.occupancy_bytes")
+            self._c_dma = metrics.counter(f"ring.{self.name}.copy.dma")
+            self._c_memcpy = metrics.counter(f"ring.{self.name}.copy.memcpy")
+            for side in (self._enq_side, self._deq_side):
+                if side.combining:
+                    side.queue.set_obs(tracer, metrics)
+
+    def _set_occupancy(self) -> None:
+        if self._g_occupancy is not None:
+            self._g_occupancy.set(self._enqueued_bytes - self._freed_bytes)
 
     # ------------------------------------------------------------------
     # Locality helpers
@@ -273,20 +307,32 @@ class RingBuffer:
     # ------------------------------------------------------------------
     # Enqueue path (sender side)
     # ------------------------------------------------------------------
-    def try_enqueue(self, core: Core, size: int) -> Generator:
+    def try_enqueue(self, core: Core, size: int, ctx=None) -> Generator:
         """Reserve a slot for ``size`` bytes; None when the ring is full
         (the paper's EWOULDBLOCK)."""
         if size <= 0:
             raise SimError(f"element size must be positive: {size}")
         if size + self.policy.header_bytes > self.capacity:
             raise SimError(f"element larger than ring: {size}")
+        span = None
+        if self.tracer.enabled and ctx is not None:
+            span = self.tracer.begin(
+                "rb.enqueue", "transport", parent=ctx, core=core,
+                ring=self.name, size=size,
+            )
         yield from core.compute(RB_OP_WORK_UNITS, "branchy")
         result = yield from self._enq_side.execute(
-            core, lambda c: self._enqueue_op(c, size)
+            core, lambda c: self._enqueue_op(c, size), ctx=ctx
         )
         if result is _WOULD_BLOCK:
             self.stats.would_blocks += 1
+            if span is not None:
+                self.tracer.end(span, would_block=True)
             return None
+        result.trace = ctx
+        self._set_occupancy()
+        if span is not None:
+            self.tracer.end(span)
         return result
 
     def _enqueue_op(self, core: Core, size: int) -> Generator:
@@ -325,8 +371,16 @@ class RingBuffer:
         """Fill the reserved slot (rb_copy_to_rb_buf)."""
         if slot.state != _RESERVED:
             raise SimError(f"copy_to on {slot.state} slot")
+        span = None
+        if self.tracer.enabled and slot.trace is not None:
+            span = self.tracer.begin(
+                "rb.copy_in", "transport", parent=slot.trace, core=core,
+                ring=self.name, size=slot.size,
+            )
         yield from self._data_copy(core, slot.size, into_ring=True)
         slot.data = data
+        if span is not None:
+            self.tracer.end(span)
 
     def set_ready(self, core: Core, slot: Slot) -> Generator:
         """Mark the slot dequeueable (rb_set_ready)."""
@@ -334,6 +388,13 @@ class RingBuffer:
             raise SimError(f"set_ready on {slot.state} slot")
         yield from self._slot_header_write(core, writer_is_sender=True)
         slot.state = _READY
+        if self.tracer.enabled and slot.trace is not None:
+            # Queued-residency span: open now, ended when the receiver
+            # claims the slot in try_dequeue.
+            slot.qspan = self.tracer.begin(
+                "rb.queued", "transport", parent=slot.trace, core=core,
+                ring=self.name, size=slot.size,
+            )
         self._wake(self._data_waiters)
 
     # ------------------------------------------------------------------
@@ -346,6 +407,9 @@ class RingBuffer:
         if result is _WOULD_BLOCK:
             self.stats.would_blocks += 1
             return None
+        if result.qspan is not None:
+            self.tracer.end(result.qspan, claimed_by=f"c{core.cid}")
+            result.qspan = None
         return result
 
     def _dequeue_op(self, core: Core) -> Generator:
@@ -379,7 +443,15 @@ class RingBuffer:
         """Copy the payload out (rb_copy_from_rb_buf); returns it."""
         if slot.state != _CONSUMED:
             raise SimError(f"copy_from on {slot.state} slot")
+        span = None
+        if self.tracer.enabled and slot.trace is not None:
+            span = self.tracer.begin(
+                "rb.copy_out", "transport", parent=slot.trace, core=core,
+                ring=self.name, size=slot.size,
+            )
         yield from self._data_copy(core, slot.size, into_ring=False)
+        if span is not None:
+            self.tracer.end(span)
         return slot.data
 
     def set_done(self, core: Core, slot: Slot) -> Generator:
@@ -397,15 +469,16 @@ class RingBuffer:
             if self._local_ring:
                 self._sender_freed_view = self._freed_bytes
         if freed_any:
+            self._set_occupancy()
             self._wake(self._space_waiters)
 
     # ------------------------------------------------------------------
     # Blocking conveniences
     # ------------------------------------------------------------------
-    def send(self, core: Core, data: Any, size: int) -> Generator:
+    def send(self, core: Core, data: Any, size: int, ctx=None) -> Generator:
         """Enqueue + copy + ready, waiting while the ring is full."""
         while True:
-            slot = yield from self.try_enqueue(core, size)
+            slot = yield from self.try_enqueue(core, size, ctx=ctx)
             if slot is not None:
                 break
             yield from self._wait_for_space(size)
@@ -477,9 +550,13 @@ class RingBuffer:
             )
         if mode == "memcpy":
             self.stats.memcpy_copies += 1
+            if self._c_memcpy is not None:
+                self._c_memcpy.inc()
             yield from self.fabric.loadstore_copy(core, size)
         elif mode == "dma":
             self.stats.dma_copies += 1
+            if self._c_dma is not None:
+                self._c_dma.inc()
             if into_ring:
                 src, dst = side_cpu.node, self.master_cpu.node
             else:

@@ -17,10 +17,12 @@ for zero-copy DMA instead (§4.3.1).
 
 from __future__ import annotations
 
+import inspect
 from typing import Any, Callable, Dict, Generator, Optional, Sequence
 
 from ..hw.cpu import CPU, Core
 from ..hw.topology import Fabric
+from ..obs.tracer import NULL_TRACER
 from ..sim.engine import Engine, Event, Interrupt, SimError
 from .ringbuf import RingBuffer, RingPolicy
 
@@ -44,9 +46,16 @@ class RemoteCallError(SimError):
 
 
 class RpcMessage:
-    """One request or response frame."""
+    """One request or response frame.
 
-    __slots__ = ("req_id", "method", "payload", "size", "is_error", "oneway")
+    ``trace`` is the caller's span context (``repro.obs``), carried
+    across the ring so server-side spans link into the client's trace
+    tree; None when tracing is off.
+    """
+
+    __slots__ = (
+        "req_id", "method", "payload", "size", "is_error", "oneway", "trace",
+    )
 
     def __init__(
         self,
@@ -56,6 +65,7 @@ class RpcMessage:
         size: int,
         is_error: bool = False,
         oneway: bool = False,
+        trace=None,
     ):
         self.req_id = req_id
         self.method = method
@@ -63,9 +73,41 @@ class RpcMessage:
         self.size = size
         self.is_error = is_error
         self.oneway = oneway
+        self.trace = trace
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Rpc #{self.req_id} {self.method} {self.size}B>"
+
+
+def _adapt_handler(handler: Callable[..., Generator]) -> Callable[..., Generator]:
+    """Normalize server handlers to the 4-argument form.
+
+    Legacy handlers take ``(core, method, payload)``; trace-aware ones
+    take ``(core, method, payload, ctx)``.  Arity is inspected once at
+    ``start_server`` time, never per message.
+    """
+    try:
+        params = list(inspect.signature(handler).parameters.values())
+    except (TypeError, ValueError):  # builtins/partials without signatures
+        return handler
+    if any(p.kind is inspect.Parameter.VAR_POSITIONAL for p in params):
+        return handler
+    positional = [
+        p
+        for p in params
+        if p.kind
+        in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        )
+    ]
+    if len(positional) >= 4:
+        return handler
+
+    def legacy(core: Core, method: str, payload: Any, ctx) -> Generator:
+        return handler(core, method, payload)
+
+    return legacy
 
 
 class RpcChannel:
@@ -114,6 +156,21 @@ class RpcChannel:
         self._servers: list = []
         self._running = True
         self.calls = 0
+        # Observability (off by default: NullTracer + no metrics).
+        self.tracer = NULL_TRACER
+        self.metrics = None
+        self._g_inflight = None
+        self._m_calls = None
+
+    def set_obs(self, tracer, metrics=None) -> None:
+        """Attach a tracer/metrics registry to the channel + both rings."""
+        self.tracer = tracer
+        self.metrics = metrics
+        if metrics is not None:
+            self._g_inflight = metrics.gauge(f"rpc.{self.name}.inflight")
+            self._m_calls = metrics.meter(f"rpc.{self.name}.calls")
+        self.request_ring.set_obs(tracer, metrics)
+        self.response_ring.set_obs(tracer, metrics)
 
     # ------------------------------------------------------------------
     # Client side (data-plane stub)
@@ -132,10 +189,12 @@ class RpcChannel:
         method: str,
         payload: Any = None,
         size: int = DEFAULT_MSG_BYTES,
+        ctx=None,
     ) -> Generator:
         """Invoke ``method`` on the server; returns its result.
 
         Raises :class:`RemoteCallError` if the handler raised.
+        ``ctx`` (a span context) links the call into the caller's trace.
         """
         if self._dispatcher is None:
             raise RpcError("start_client() must be called first")
@@ -144,9 +203,25 @@ class RpcChannel:
         done = self.engine.event()
         self._pending[req_id] = done
         self.calls += 1
-        msg = RpcMessage(req_id, method, payload, size)
-        yield from self.request_ring.send(core, msg, size)
+        span = None
+        send_ctx = ctx
+        if self.tracer.enabled and ctx is not None:
+            span = self.tracer.begin(
+                f"rpc.{method}", "transport", parent=ctx, core=core,
+                channel=self.name, size=size,
+            )
+            send_ctx = span.ctx()
+        if self._g_inflight is not None:
+            self._g_inflight.add(1)
+        msg = RpcMessage(req_id, method, payload, size, trace=send_ctx)
+        yield from self.request_ring.send(core, msg, size, ctx=send_ctx)
         response: RpcMessage = yield done
+        if self._g_inflight is not None:
+            self._g_inflight.add(-1)
+        if self._m_calls is not None:
+            self._m_calls.add(size + response.size)
+        if span is not None:
+            self.tracer.end(span, error=response.is_error)
         if response.is_error:
             raise RemoteCallError(method, response.payload)
         return response.payload
@@ -157,11 +232,14 @@ class RpcChannel:
         method: str,
         payload: Any = None,
         size: int = DEFAULT_MSG_BYTES,
+        ctx=None,
     ) -> Generator:
         """Fire-and-forget message (no response expected)."""
         self._next_id += 1
-        msg = RpcMessage(self._next_id, method, payload, size, oneway=True)
-        yield from self.request_ring.send(core, msg, size)
+        msg = RpcMessage(
+            self._next_id, method, payload, size, oneway=True, trace=ctx
+        )
+        yield from self.request_ring.send(core, msg, size, ctx=ctx)
 
     def _client_dispatch(self, core: Core) -> Generator:
         try:
@@ -179,16 +257,19 @@ class RpcChannel:
     def start_server(
         self,
         cores: Sequence[Core],
-        handler: Callable[[Core, str, Any], Generator],
+        handler: Callable[..., Generator],
         response_size: int = DEFAULT_MSG_BYTES,
     ) -> None:
         """Launch one proxy worker per core.
 
         ``handler(core, method, payload)`` is a generator returning the
-        result object; exceptions are shipped back to the caller.
+        result object; exceptions are shipped back to the caller.  A
+        handler taking a fourth positional argument also receives the
+        request's span context (None when tracing is off).
         """
         if not cores:
             raise RpcError("need at least one server core")
+        handler = _adapt_handler(handler)
         for core in cores:
             proc = self.engine.spawn(
                 self._server_loop(core, handler, response_size),
@@ -210,27 +291,43 @@ class RpcChannel:
     def _serve(
         self,
         core: Core,
-        handler: Callable[[Core, str, Any], Generator],
+        handler: Callable[..., Generator],
         response_size: int,
     ) -> Generator:
         while self._running:
             msg: RpcMessage = yield from self.request_ring.recv(core)
+            span = None
+            hctx = msg.trace
+            if self.tracer.enabled and msg.trace is not None:
+                span = self.tracer.begin(
+                    f"rpc.serve.{msg.method}", "proxy", parent=msg.trace,
+                    core=core, channel=self.name,
+                )
+                hctx = span.ctx()
             if msg.oneway:
                 try:
-                    yield from handler(core, msg.method, msg.payload)
+                    yield from handler(core, msg.method, msg.payload, hctx)
                 except Exception:
                     pass  # nowhere to report a one-way failure
+                if span is not None:
+                    self.tracer.end(span, oneway=True)
                 continue
             try:
-                result = yield from handler(core, msg.method, msg.payload)
+                result = yield from handler(core, msg.method, msg.payload, hctx)
                 reply = RpcMessage(
-                    msg.req_id, msg.method, result, response_size
+                    msg.req_id, msg.method, result, response_size,
+                    trace=msg.trace,
                 )
             except Exception as error:  # noqa: BLE001 - shipped to caller
                 reply = RpcMessage(
-                    msg.req_id, msg.method, error, response_size, is_error=True
+                    msg.req_id, msg.method, error, response_size,
+                    is_error=True, trace=msg.trace,
                 )
-            yield from self.response_ring.send(core, reply, reply.size)
+            if span is not None:
+                self.tracer.end(span, error=reply.is_error)
+            yield from self.response_ring.send(
+                core, reply, reply.size, ctx=msg.trace
+            )
 
     # ------------------------------------------------------------------
     # Shutdown (tests / examples)

@@ -49,6 +49,23 @@ def test_histogram_log_buckets():
         h.record(-1)
 
 
+def test_histogram_sub_one_values_report_unit_bucket():
+    # Regression: values in [0, 1) used to land in the bucket labeled
+    # (1, 2) because int(log2(v)) clamps to 0.  They belong in (0, 1).
+    h = Histogram()
+    h.record(0)
+    h.record(0.25)
+    h.record(1)
+    rows = h.buckets()
+    assert rows[0] == (0, 1, 2)
+    assert rows[1] == (1, 2, 1)
+    assert h.count == 3
+    assert h.total == pytest.approx(1.25)
+    assert h.mean == pytest.approx(1.25 / 3)
+    h.reset()
+    assert h.count == 0 and h.buckets() == []
+
+
 def test_throughput_meter_units():
     meter = ThroughputMeter()
     meter.add(nbytes=1_000_000, nops=10)
@@ -57,6 +74,28 @@ def test_throughput_meter_units():
     assert meter.mb_per_sec(1_000_000) == pytest.approx(1000.0)
     assert meter.ops_per_sec(1_000_000) == pytest.approx(10_000)
     assert meter.gb_per_sec(0) == 0.0
+
+
+def test_throughput_meter_interval_and_reset():
+    meter = ThroughputMeter()
+    meter.add(nbytes=1000, nops=2)
+    first = meter.interval(1000)
+    assert first["bytes"] == 1000.0 and first["ops"] == 2.0
+    assert first["gb_per_sec"] == pytest.approx(1.0)
+    assert first["ops_per_sec"] == pytest.approx(2e6)
+    # Next interval only sees what arrived since the mark.
+    meter.add(nbytes=500, nops=1)
+    second = meter.interval(2000)
+    assert second["bytes"] == 500.0 and second["ops"] == 1.0
+    # Cumulative totals are untouched by interval marks.
+    assert meter.bytes == 1500 and meter.ops == 3
+    # Zero-length interval reports zero rates.
+    assert meter.interval(2000)["gb_per_sec"] == 0.0
+    with pytest.raises(ValueError):
+        meter.interval(1999)
+    meter.reset()
+    assert meter.bytes == 0 and meter.ops == 0
+    assert meter.interval(100)["bytes"] == 0.0
 
 
 # ----------------------------------------------------------------------
