@@ -8,7 +8,10 @@ paper-reported vs measured values.
 from .figures import (
     FS_STACKS,
     controlplane_aggregate_read,
+    controlplane_scheduled_read,
     fs_random_io,
+    sched_qos_overload,
+    sched_qos_unloaded,
     net_stream_throughput,
     pcie_transfer_mbps,
     ringbuf_copy_bandwidth,
@@ -30,6 +33,9 @@ __all__ = [
     "tcp_echo_samples",
     "net_stream_throughput",
     "controlplane_aggregate_read",
+    "controlplane_scheduled_read",
+    "sched_qos_overload",
+    "sched_qos_unloaded",
     "render_table",
     "render_series",
     "banner",

@@ -53,6 +53,9 @@ __all__ = [
     "tcp_echo_samples",
     "net_stream_throughput",
     "controlplane_aggregate_read",
+    "controlplane_scheduled_read",
+    "sched_qos_overload",
+    "sched_qos_unloaded",
 ]
 
 FS_STACKS = ("host", "solros", "solros-xnuma", "solros-xnuma-p2p", "virtio", "nfs")
@@ -721,3 +724,254 @@ def controlplane_aggregate_read(
     elapsed = eng.now - start
     system.shutdown()
     return moved[0] / elapsed
+
+
+# ----------------------------------------------------------------------
+# Control-plane QoS scheduling (repro.sched)
+# ----------------------------------------------------------------------
+def controlplane_scheduled_read(
+    n_phis: int,
+    policy: str = "drr",
+    threads_per_phi: int = 8,
+    block_size: int = 512 * KB,
+    ops_per_thread: int = 8,
+) -> Dict:
+    """Figure 18 companion: the same aggregate-read scenario routed
+    through the control-plane scheduler, so we can report what the
+    plain GB/s number hides — per-co-processor throughput share and
+    the p50/p99 of individual delegated reads."""
+    from ..sim.stats import percentile
+
+    eng = Engine()
+    cfg = SolrosConfig(
+        disk_blocks=DEFAULT_DISK_BLOCKS,
+        max_inodes=64,
+        sched_policy=policy,
+        sched_workers_min=2,
+        sched_workers_max=8,
+        sched_source_credits=threads_per_phi * 2,
+    )
+    system = SolrosSystem(eng, cfg)
+    eng.run_process(system.boot(n_phis=n_phis))
+    file_bytes = 128 * MB
+    host_core = system.machine.host_core(0)
+    eng.run_process(
+        system.control.fs.preallocate(host_core, BENCH_FILE, file_bytes)
+    )
+    rng = random.Random(7)
+    n_blocks = file_bytes // block_size
+    moved = [0]
+    latencies: List[int] = []
+
+    def worker(phi_index, t):
+        dp = system.dataplane(phi_index)
+        core = dp.core(t)
+        fd = yield from dp.fs.open(core, BENCH_FILE)
+        for _ in range(ops_per_thread):
+            offset = rng.randrange(n_blocks) * block_size
+            t0 = eng.now
+            data = yield from dp.fs.pread(core, fd, block_size, offset)
+            latencies.append(eng.now - t0)
+            moved[0] += len(data)
+        yield from dp.fs.close(core, fd)
+
+    start = eng.now
+    procs = [
+        eng.spawn(worker(p, t))
+        for p in range(n_phis)
+        for t in range(threads_per_phi)
+    ]
+    eng.run()
+    assert all(pr.ok for pr in procs)
+    elapsed = eng.now - start
+    sched = system.scheduler
+    state = sched.state()
+    # Open/close RPCs also count bytes (their wire size), but the reads
+    # dominate by >3 orders of magnitude; shares are effectively data.
+    shares = state["shares"]
+    system.shutdown()
+    return {
+        "gbps": moved[0] / elapsed,
+        "p50_us": percentile(latencies, 50) / 1000.0,
+        "p99_us": percentile(latencies, 99) / 1000.0,
+        "shares": shares,
+        "workers_high_water": state["workers_high_water"],
+        "completed": state["completed"],
+        "rejected": state["rejected"],
+    }
+
+
+def _sched_qos_config(policy: str) -> SolrosConfig:
+    """The QoS benchmark's scheduler sizing.
+
+    The pool is deliberately small and fixed (2 regular workers + the
+    RT reserve): the NVMe read bus is a single FIFO lane, so every
+    in-flight bulk scan adds head-of-line delay that *no* dispatch
+    order can claw back.  Admission bounds are wide enough that the
+    closed-loop tenants below never trip them — rejection/backoff has
+    its own unit tests.
+    """
+    return SolrosConfig(
+        disk_blocks=DEFAULT_DISK_BLOCKS,
+        max_inodes=64,
+        sched_policy=policy,
+        sched_workers_min=2,
+        sched_workers_max=2,
+        sched_rt_reserve=1,
+        sched_class_capacity=64,
+        sched_source_credits=32,
+    )
+
+
+def sched_qos_unloaded(
+    policy: str = "drr+priority",
+    fg_ops: int = 60,
+    fg_block: int = 512 * KB,
+    seed: int = 11,
+) -> Dict:
+    """The latency-sensitive tenant alone: its no-contention baseline."""
+    from ..sched.qos import QOS_RT
+    from ..sim.stats import percentile
+
+    eng = Engine()
+    system = SolrosSystem(eng, _sched_qos_config(policy))
+    eng.run_process(system.boot(n_phis=1))
+    file_bytes = 128 * MB
+    eng.run_process(
+        system.control.fs.preallocate(
+            system.machine.host_core(0), BENCH_FILE, file_bytes
+        )
+    )
+    rng = random.Random(seed)
+    n_blocks = file_bytes // fg_block
+    latencies: List[int] = []
+
+    def fg(eng):
+        dp = system.dataplane(0)
+        vfs = dp.fs_view(QOS_RT)
+        core = dp.core(0)
+        fd = yield from vfs.open(core, BENCH_FILE)
+        for _ in range(fg_ops):
+            offset = rng.randrange(n_blocks) * fg_block
+            t0 = eng.now
+            yield from vfs.pread(core, fd, fg_block, offset)
+            latencies.append(eng.now - t0)
+        yield from vfs.close(core, fd)
+
+    eng.run_process(fg(eng))
+    system.shutdown()
+    return {
+        "p50_us": percentile(latencies, 50) / 1000.0,
+        "p99_us": percentile(latencies, 99) / 1000.0,
+        "samples": list(latencies),
+    }
+
+
+def sched_qos_overload(
+    policy: str,
+    fg_ops: int = 60,
+    fg_block: int = 512 * KB,
+    bg_block: int = 256 * KB,
+    bg_threads: Sequence[int] = (8, 4, 4),
+    window_ms: int = 400,
+    seed: int = 11,
+) -> Dict:
+    """The QoS overload scenario (the Fig. 18 companion experiment).
+
+    One latency-sensitive tenant (phi0, CLASS_RT, 512 KB random reads,
+    closed loop) shares the control plane with three background scan
+    tenants (CLASS_BULK, continuous 256 KB random reads; phi1 runs 2×
+    the threads of phi2/phi3, modeling one greedy co-processor).  The
+    offered bulk load alone exceeds the SSD's read bandwidth, so the
+    scheduler queue is never empty: dispatch order decides who eats
+    the backlog.
+
+    Returns the foreground latency distribution, the background
+    tenants' byte shares over the measurement window (fair = 1/3
+    each), and the scheduler's own accounting.
+    """
+    from ..sched.qos import QOS_BULK, QOS_RT
+    from ..sim.stats import percentile
+
+    eng = Engine()
+    system = SolrosSystem(eng, _sched_qos_config(policy))
+    n_phis = 1 + len(bg_threads)
+    eng.run_process(system.boot(n_phis=n_phis))
+    file_bytes = 128 * MB
+    eng.run_process(
+        system.control.fs.preallocate(
+            system.machine.host_core(0), BENCH_FILE, file_bytes
+        )
+    )
+    latencies: List[int] = []
+    fg_finished: List[int] = []
+    stubs: List = []  # every per-tenant stub, for retry accounting
+
+    def fg(eng):
+        dp = system.dataplane(0)
+        vfs = dp.fs_view(QOS_RT)
+        stubs.append(vfs.backend)
+        core = dp.core(0)
+        rng = random.Random(seed)
+        n_blocks = file_bytes // fg_block
+        fd = yield from vfs.open(core, BENCH_FILE)
+        for _ in range(fg_ops):
+            offset = rng.randrange(n_blocks) * fg_block
+            t0 = eng.now
+            yield from vfs.pread(core, fd, fg_block, offset)
+            latencies.append(eng.now - t0)
+        yield from vfs.close(core, fd)
+        fg_finished.append(eng.now)
+
+    def bg(phi_index, t):
+        dp = system.dataplane(phi_index)
+        vfs = dp.fs_view(QOS_BULK, retry_seed=t)
+        stubs.append(vfs.backend)
+        core = dp.core(t)
+        rng = random.Random((seed, phi_index, t).__repr__())
+        n_blocks = file_bytes // bg_block
+        fd = yield from vfs.open(core, BENCH_FILE)
+        while True:  # scan forever; the window bounds the run
+            offset = rng.randrange(n_blocks) * bg_block
+            yield from vfs.pread(core, fd, bg_block, offset)
+
+    # Background scans start first so the foreground always contends.
+    for phi_index, threads in enumerate(bg_threads, start=1):
+        for t in range(threads):
+            eng.spawn(bg(phi_index, t), name=f"bg{phi_index}.{t}")
+    fg_proc = eng.spawn(fg(eng), name="fg")
+    eng.run(until=window_ms * 1_000_000)
+    if not fg_proc.ok and fg_proc.triggered:
+        raise fg_proc.value
+    assert fg_finished, (
+        f"foreground did not finish within {window_ms} ms "
+        f"(completed {len(latencies)}/{fg_ops} ops under {policy!r})"
+    )
+    sched = system.scheduler
+    state = sched.state()
+    bg_sources = [f"phi{i}" for i in range(1, n_phis)]
+    bg_bytes = {
+        src: sched.stats.per_source[src].bytes
+        for src in bg_sources
+        if src in sched.stats.per_source
+    }
+    total_bg = sum(bg_bytes.values())
+    bg_shares = {
+        src: (bg_bytes.get(src, 0) / total_bg if total_bg else 0.0)
+        for src in bg_sources
+    }
+    stub_retries = sum(stub.retries for stub in stubs)
+    system.shutdown()
+    return {
+        "policy": policy,
+        "fg_p50_us": percentile(latencies, 50) / 1000.0,
+        "fg_p99_us": percentile(latencies, 99) / 1000.0,
+        "fg_done_ms": fg_finished[0] / 1e6,
+        "bg_shares": bg_shares,
+        "samples": list(latencies),
+        "completed": state["completed"],
+        "shed": state["shed"],
+        "rejected": state["rejected"],
+        "workers_high_water": state["workers_high_water"],
+        "stub_retries": stub_retries,
+    }

@@ -27,6 +27,23 @@ class SolrosConfig:
     # Control plane staffing.
     fs_proxy_workers: int = 4
     net_proxy_workers: int = 2
+    # Control-plane request scheduler (repro.sched).  None keeps the
+    # legacy path — each channel drained FIFO by its own fixed worker
+    # pool, bit-identical to the seed behavior.  Set a policy name
+    # ("fifo", "priority", "edf", "drr", "drr+priority") to route all
+    # FS RPCs through one shared RequestScheduler with admission
+    # control, deadline shedding, and an elastic worker pool.
+    sched_policy: Optional[str] = None
+    sched_class_capacity: int = 64      # queued requests per class
+    sched_source_credits: int = 32      # outstanding requests per Phi
+    sched_drr_quantum: int = 256 * 1024  # DRR bytes per visit
+    sched_workers_min: int = 2
+    sched_workers_max: int = 8
+    sched_grow_depth_per_worker: int = 2
+    sched_idle_shrink_ns: int = 200_000
+    sched_rt_reserve: int = 1           # workers pinned to CLASS_RT
+    sched_shed_expired: bool = True
+    sched_record_decisions: bool = False  # keep a decision trace
     # Cross-co-processor file prefetching (§4; needs the buffer cache).
     enable_prefetch: bool = False
     prefetch_min_accesses: int = 4

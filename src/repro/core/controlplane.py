@@ -43,6 +43,9 @@ class ControlPlaneOS:
         self.policy: Optional[DataPathPolicy] = None
         self.fs_proxy: Optional[SolrosFsProxy] = None
         self.prefetcher = None
+        # Control-plane request scheduler (repro.sched); built during
+        # format_storage() when config.sched_policy is set.
+        self.scheduler = None
         self._next_worker_core = 0
         # Observability hub (set by SolrosSystem before bring-up; may
         # stay None for directly-constructed control planes).
@@ -88,9 +91,30 @@ class ControlPlaneOS:
                 min_planes=cfg.prefetch_min_planes,
             )
             self.fs_proxy.prefetcher = self.prefetcher
+        if cfg.sched_policy is not None:
+            from ..sched.scheduler import RequestScheduler
+
+            self.scheduler = RequestScheduler(
+                self.engine,
+                self.host,
+                cfg.sched_policy,
+                class_capacity=cfg.sched_class_capacity,
+                source_credits=cfg.sched_source_credits,
+                shed_expired=cfg.sched_shed_expired,
+                drr_quantum=cfg.sched_drr_quantum,
+                workers_min=cfg.sched_workers_min,
+                workers_max=cfg.sched_workers_max,
+                grow_depth_per_worker=cfg.sched_grow_depth_per_worker,
+                idle_shrink_ns=cfg.sched_idle_shrink_ns,
+                rt_reserve=cfg.sched_rt_reserve,
+                core_alloc=self.alloc_worker_cores,
+                record_decisions=cfg.sched_record_decisions,
+            )
         if self.obs is not None and self.obs.enabled:
             self.fs_proxy.set_obs(self.obs.tracer, self.obs.metrics)
             self.machine.nvme.set_obs(self.obs.tracer, self.obs.metrics)
+            if self.scheduler is not None:
+                self.scheduler.set_obs(self.obs.tracer, self.obs.metrics)
         return self.fs
 
     def host_vfs(self) -> Vfs:
@@ -103,9 +127,21 @@ class ControlPlaneOS:
     # Data-plane attachment
     # ------------------------------------------------------------------
     def attach_fs_channel(self, channel: RpcChannel, phi_cpu: CPU) -> None:
-        """Start proxy workers serving one co-processor's FS RPCs."""
+        """Start proxy workers serving one co-processor's FS RPCs.
+
+        With a scheduler configured, the channel gets a single ring
+        puller feeding the shared scheduler (whose elastic pool does
+        the execution); otherwise the classic fixed per-channel pool.
+        """
         if self.fs_proxy is None:
             raise SimError("format_storage() first")
+        if self.scheduler is not None:
+            first = self.alloc_worker_cores(1)
+            self.fs_proxy.serve(
+                channel, phi_cpu, first_core=first,
+                scheduler=self.scheduler, source=phi_cpu.name,
+            )
+            return
         workers = self.config.fs_proxy_workers
         first = self.alloc_worker_cores(workers)
         self.fs_proxy.serve(channel, phi_cpu, n_workers=workers, first_core=first)

@@ -71,6 +71,19 @@ class DataPlaneOS:
         self.fs = Vfs(SolrosFsBackend(self.fs_channel, self.cpu))
         return self.fs
 
+    def fs_view(self, qos, retry_seed: int = 0) -> Vfs:
+        """A VFS whose delegated calls carry ``qos``.
+
+        Tenants on one co-processor share the RPC channel, but each
+        view stamps its own priority class and (relative) deadline on
+        every 9P message, so the control-plane scheduler can tell a
+        latency-critical foreground apart from a background scan.
+        ``retry_seed`` decorrelates the tenants' backoff jitter.
+        """
+        if self.fs is None:
+            raise SimError(f"phi{self.phi_index}: attach_fs() first")
+        return Vfs(self.fs.backend.with_qos(qos, retry_seed=retry_seed))
+
     def new_app(self) -> Vfs:
         """An isolated application context (§4: the data-plane OS
         "provides isolation among co-processor applications", relying

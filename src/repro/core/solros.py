@@ -89,6 +89,19 @@ class SolrosSystem:
     def dataplanes(self) -> List[DataPlaneOS]:
         return [self._dataplanes[i] for i in sorted(self._dataplanes)]
 
+    @property
+    def scheduler(self):
+        """The control-plane request scheduler, or None when the
+        legacy direct-drain path is active (``sched_policy=None``)."""
+        return self.control.scheduler
+
+    def sched_state(self) -> Optional[dict]:
+        """Snapshot of the scheduler (policy, depths, shares, counts)."""
+        sched = self.control.scheduler
+        return None if sched is None else sched.state()
+
     def shutdown(self) -> None:
         for dp in self._dataplanes.values():
             dp.shutdown()
+        if self.control.scheduler is not None:
+            self.control.scheduler.stop()

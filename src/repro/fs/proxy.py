@@ -136,8 +136,17 @@ class SolrosFsProxy:
         phi_cpu: CPU,
         n_workers: int = 4,
         first_core: int = 0,
+        scheduler=None,
+        source: Optional[str] = None,
     ) -> None:
-        """Attach a co-processor's RPC channel and start proxy workers."""
+        """Attach a co-processor's RPC channel and start proxy workers.
+
+        Without a ``scheduler`` this starts the classic fixed pool: one
+        server loop per core draining the ring FIFO.  With one (a
+        ``repro.sched.RequestScheduler``), a single puller on
+        ``first_core`` feeds the scheduler and execution happens on its
+        shared elastic worker pool instead — ``n_workers`` is ignored.
+        """
         session = _Session(phi_cpu)
         self._sessions[id(channel)] = session
 
@@ -145,6 +154,14 @@ class SolrosFsProxy:
             result = yield from self.handle(core, session, payload, ctx)
             return result
 
+        if scheduler is not None:
+            channel.start_scheduled_server(
+                self.host_cpu.core(first_core),
+                scheduler,
+                source or phi_cpu.name,
+                handler,
+            )
+            return
         cores = [
             self.host_cpu.core(first_core + i) for i in range(n_workers)
         ]

@@ -13,10 +13,12 @@ scatter-gather description of the user buffer.
 
 from __future__ import annotations
 
+import random
 from typing import Any, Generator, Optional
 
 from ..hw.cpu import CPU, Core
-from ..transport.rpc import RpcChannel
+from ..sched.qos import QOS_NORMAL, Qos, RetryPolicy, SchedRejected
+from ..transport.rpc import RemoteCallError, RpcChannel
 from .ninep import (
     Tclunk,
     Tcreate,
@@ -48,10 +50,37 @@ class SolrosFsBackend(FsBackend):
 
     name = "solros"
 
-    def __init__(self, channel: RpcChannel, phi_cpu: CPU):
+    def __init__(
+        self,
+        channel: RpcChannel,
+        phi_cpu: CPU,
+        qos: Optional[Qos] = None,
+        retry: Optional[RetryPolicy] = None,
+        retry_seed: int = 0,
+    ):
         self.channel = channel
         self.phi_cpu = phi_cpu
+        self.qos = qos or QOS_NORMAL
+        self.retry = retry or RetryPolicy()
+        self._rng = random.Random(
+            f"fs-stub/{channel.name}/{self.qos.priority}/{retry_seed}"
+        )
         self._buffer_seq = 0
+        self.retries = 0     # backoff sleeps taken
+        self.rejections = 0  # SchedRejected verdicts seen
+
+    def with_qos(self, qos: Qos, retry_seed: int = 0) -> "SolrosFsBackend":
+        """A sibling stub over the same channel with different QoS.
+
+        Tenants on one co-processor share the RPC rings but can carry
+        their own priority class and deadline (buffer ids stay unique:
+        the sequence counter is shared with the parent)."""
+        sibling = SolrosFsBackend(
+            self.channel, self.phi_cpu, qos=qos, retry=self.retry,
+            retry_seed=retry_seed,
+        )
+        sibling._next_buffer = self._next_buffer  # share the id space
+        return sibling
 
     # ------------------------------------------------------------------
     # Helpers
@@ -79,10 +108,38 @@ class SolrosFsBackend(FsBackend):
             self.channel.tracer.end(span, **attrs)
 
     def _call(self, core: Core, msg: Any, ctx=None) -> Generator:
-        result = yield from self.channel.call(
-            core, "9p", msg, size=wire_bytes(msg), ctx=ctx
-        )
-        return result
+        """Ship one 9P message, absorbing admission-control pushback.
+
+        When the control-plane scheduler rejects the request (ring
+        backlog, no credits) the stub backs off — bounded exponential
+        delay seeded deterministically, based at the scheduler's own
+        retry-after hint — and re-issues, up to ``retry.max_tries``
+        total attempts.  Any other remote failure propagates.
+        """
+        size = wire_bytes(msg)
+        deadline = None
+        if self.qos.deadline_ns is not None:
+            deadline = self.channel.engine.now + self.qos.deadline_ns
+        attempt = 0
+        while True:
+            try:
+                result = yield from self.channel.call(
+                    core, "9p", msg, size=size, ctx=ctx,
+                    priority=self.qos.priority, deadline=deadline,
+                )
+                return result
+            except RemoteCallError as err:
+                cause = err.cause
+                if not isinstance(cause, SchedRejected):
+                    raise
+                self.rejections += 1
+                attempt += 1
+                if attempt >= self.retry.max_tries:
+                    raise
+                self.retries += 1
+                yield self.retry.delay(
+                    attempt - 1, self._rng, cause.retry_after_ns
+                )
 
     def _next_buffer(self) -> int:
         self._buffer_seq += 1

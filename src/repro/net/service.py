@@ -156,6 +156,7 @@ class SolrosNetProxy:
         fabric,
         ring_policy: Optional[RingPolicy] = None,
         workers_per_channel: int = 2,
+        scheduler=None,
     ):
         self.engine = engine
         self.network = network
@@ -164,6 +165,10 @@ class SolrosNetProxy:
         self.fabric = fabric
         self.ring_policy = ring_policy
         self.workers_per_channel = workers_per_channel
+        # Optional control-plane scheduler (repro.sched): when set, the
+        # control RPCs of every attached channel are admitted/dispatched
+        # through it instead of a dedicated per-channel server loop.
+        self.scheduler = scheduler
         self.stats = NetStats()
         self.socks: Dict[int, _ProxySock] = {}
         self.channels: Dict[int, NetChannel] = {}
@@ -224,10 +229,15 @@ class SolrosNetProxy:
         # Control RPC servicing.
         channel.rpc.start_client(dataplane.cpu.cores[-2])
         rpc_core = self.host_cpu.core(self._alloc_core())
-        channel.rpc.start_server(
-            [rpc_core],
-            lambda core, method, payload: self._rpc(core, phi_index, payload),
+        handler = (
+            lambda core, method, payload: self._rpc(core, phi_index, payload)
         )
+        if self.scheduler is not None:
+            channel.rpc.start_scheduled_server(
+                rpc_core, self.scheduler, f"net.phi{phi_index}", handler
+            )
+        else:
+            channel.rpc.start_server([rpc_core], handler)
 
         # Outbound pullers (host DMA engines pull outgoing data).
         for _ in range(self.workers_per_channel):

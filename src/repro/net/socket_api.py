@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Any, Generator, Optional, Tuple
 
 from ..hw.cpu import Core
+from ..sched.qos import QOS_NORMAL, Qos
 from ..sim.engine import SimError
 from ..sim.primitives import Store
 from .balancer import LoadBalancer
@@ -38,11 +39,21 @@ class SolrosNetApi:
         channel: NetChannel,
         dataplane,
         phi_index: int,
+        qos: Optional[Qos] = None,
     ):
         self.proxy = proxy
         self.channel = channel
         self.dataplane = dataplane
         self.phi_index = phi_index
+        # QoS for control RPCs when the proxy routes them through a
+        # control-plane scheduler; mutable so a tenant can reprioritize.
+        self.qos = qos or QOS_NORMAL
+
+    def _qos_kwargs(self) -> dict:
+        deadline = None
+        if self.qos.deadline_ns is not None:
+            deadline = self.channel.engine.now + self.qos.deadline_ns
+        return {"priority": self.qos.priority, "deadline": deadline}
 
     # ------------------------------------------------------------------
     # Socket creation
@@ -61,6 +72,7 @@ class SolrosNetApi:
             sock_id = yield from self.channel.rpc.call(
                 core, "net", ("connect", addr),
                 ctx=span.ctx() if span is not None else None,
+                **self._qos_kwargs(),
             )
             return SolrosSocket(self, sock_id)
         finally:
@@ -83,13 +95,17 @@ class SolrosNetApi:
         if port in self.channel.listener_stores:
             raise SimError(f"phi{self.phi_index} already listening on {port}")
         self.channel.listener_stores[port] = Store(self.channel.engine)
-        yield from self.channel.rpc.call(core, "net", ("listen", port, balancer))
+        yield from self.channel.rpc.call(
+            core, "net", ("listen", port, balancer), **self._qos_kwargs()
+        )
         return SolrosListener(self, port)
 
     def close_listener(self, core: Core, port: int) -> Generator:
         yield from core.syscall()
         self.channel.listener_stores.pop(port, None)
-        yield from self.channel.rpc.call(core, "net", ("close_listener", port))
+        yield from self.channel.rpc.call(
+            core, "net", ("close_listener", port), **self._qos_kwargs()
+        )
 
 
 class SolrosListener:

@@ -81,8 +81,14 @@ class NetTestbed:
         self,
         ring_policy: Optional[RingPolicy] = None,
         workers_per_channel: int = 2,
+        scheduler=None,
     ) -> SolrosNetProxy:
-        """The control-plane network proxy (host TCP stack underneath)."""
+        """The control-plane network proxy (host TCP stack underneath).
+
+        ``scheduler`` (a ``repro.sched.RequestScheduler``) routes the
+        control RPCs of every attached co-processor through the QoS
+        scheduler instead of per-channel FIFO server loops.
+        """
         if self._proxy is None:
             self._proxy = SolrosNetProxy(
                 self.engine,
@@ -92,5 +98,6 @@ class NetTestbed:
                 self.machine.fabric,
                 ring_policy=ring_policy,
                 workers_per_channel=workers_per_channel,
+                scheduler=scheduler,
             )
         return self._proxy

@@ -51,10 +51,17 @@ class RpcMessage:
     ``trace`` is the caller's span context (``repro.obs``), carried
     across the ring so server-side spans link into the client's trace
     tree; None when tracing is off.
+
+    ``priority`` and ``deadline`` are the QoS fields read by the
+    control-plane scheduler (``repro.sched``): a small class integer
+    (0 = most urgent) and an absolute simulated-ns deadline (None =
+    never shed).  Both ride the wire header, so a scheduler-less
+    server simply ignores them.
     """
 
     __slots__ = (
         "req_id", "method", "payload", "size", "is_error", "oneway", "trace",
+        "priority", "deadline",
     )
 
     def __init__(
@@ -66,6 +73,8 @@ class RpcMessage:
         is_error: bool = False,
         oneway: bool = False,
         trace=None,
+        priority: int = 1,
+        deadline: Optional[int] = None,
     ):
         self.req_id = req_id
         self.method = method
@@ -74,6 +83,8 @@ class RpcMessage:
         self.is_error = is_error
         self.oneway = oneway
         self.trace = trace
+        self.priority = priority
+        self.deadline = deadline
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Rpc #{self.req_id} {self.method} {self.size}B>"
@@ -190,11 +201,15 @@ class RpcChannel:
         payload: Any = None,
         size: int = DEFAULT_MSG_BYTES,
         ctx=None,
+        priority: int = 1,
+        deadline: Optional[int] = None,
     ) -> Generator:
         """Invoke ``method`` on the server; returns its result.
 
         Raises :class:`RemoteCallError` if the handler raised.
         ``ctx`` (a span context) links the call into the caller's trace.
+        ``priority``/``deadline`` annotate the request for a scheduled
+        server (ignored by plain ``start_server`` loops).
         """
         if self._dispatcher is None:
             raise RpcError("start_client() must be called first")
@@ -213,7 +228,10 @@ class RpcChannel:
             send_ctx = span.ctx()
         if self._g_inflight is not None:
             self._g_inflight.add(1)
-        msg = RpcMessage(req_id, method, payload, size, trace=send_ctx)
+        msg = RpcMessage(
+            req_id, method, payload, size, trace=send_ctx,
+            priority=priority, deadline=deadline,
+        )
         yield from self.request_ring.send(core, msg, size, ctx=send_ctx)
         response: RpcMessage = yield done
         if self._g_inflight is not None:
@@ -296,38 +314,126 @@ class RpcChannel:
     ) -> Generator:
         while self._running:
             msg: RpcMessage = yield from self.request_ring.recv(core)
-            span = None
-            hctx = msg.trace
-            if self.tracer.enabled and msg.trace is not None:
-                span = self.tracer.begin(
-                    f"rpc.serve.{msg.method}", "proxy", parent=msg.trace,
-                    core=core, channel=self.name,
-                )
-                hctx = span.ctx()
-            if msg.oneway:
-                try:
-                    yield from handler(core, msg.method, msg.payload, hctx)
-                except Exception:
-                    pass  # nowhere to report a one-way failure
-                if span is not None:
-                    self.tracer.end(span, oneway=True)
-                continue
-            try:
-                result = yield from handler(core, msg.method, msg.payload, hctx)
-                reply = RpcMessage(
-                    msg.req_id, msg.method, result, response_size,
-                    trace=msg.trace,
-                )
-            except Exception as error:  # noqa: BLE001 - shipped to caller
-                reply = RpcMessage(
-                    msg.req_id, msg.method, error, response_size,
-                    is_error=True, trace=msg.trace,
-                )
-            if span is not None:
-                self.tracer.end(span, error=reply.is_error)
-            yield from self.response_ring.send(
-                core, reply, reply.size, ctx=msg.trace
+            yield from self.serve_one(core, msg, handler, response_size)
+
+    def serve_one(
+        self,
+        core: Core,
+        msg: RpcMessage,
+        handler: Callable[..., Generator],
+        response_size: int,
+    ) -> Generator:
+        """Execute one already-received request and ship its reply.
+
+        This is the per-message body of the classic server loop, split
+        out so a control-plane scheduler can receive in one process and
+        execute in another (its worker pool) with identical semantics.
+        """
+        span = None
+        hctx = msg.trace
+        if self.tracer.enabled and msg.trace is not None:
+            span = self.tracer.begin(
+                f"rpc.serve.{msg.method}", "proxy", parent=msg.trace,
+                core=core, channel=self.name,
             )
+            hctx = span.ctx()
+        if msg.oneway:
+            try:
+                yield from handler(core, msg.method, msg.payload, hctx)
+            except Exception:
+                pass  # nowhere to report a one-way failure
+            if span is not None:
+                self.tracer.end(span, oneway=True)
+            return
+        try:
+            result = yield from handler(core, msg.method, msg.payload, hctx)
+            reply = RpcMessage(
+                msg.req_id, msg.method, result, response_size,
+                trace=msg.trace,
+            )
+        except Exception as error:  # noqa: BLE001 - shipped to caller
+            reply = RpcMessage(
+                msg.req_id, msg.method, error, response_size,
+                is_error=True, trace=msg.trace,
+            )
+        if span is not None:
+            self.tracer.end(span, error=reply.is_error)
+        yield from self.response_ring.send(
+            core, reply, reply.size, ctx=msg.trace
+        )
+
+    def reply_error(
+        self,
+        core: Core,
+        msg: RpcMessage,
+        error: BaseException,
+        response_size: int = DEFAULT_MSG_BYTES,
+    ) -> Generator:
+        """Answer ``msg`` with an error without running any handler.
+
+        Used by the scheduler for admission rejections and shed
+        requests: the client sees the same :class:`RemoteCallError`
+        wrapping it would get from a raising handler.
+        """
+        if msg.oneway:
+            return
+        reply = RpcMessage(
+            msg.req_id, msg.method, error, response_size,
+            is_error=True, trace=msg.trace,
+        )
+        yield from self.response_ring.send(
+            core, reply, reply.size, ctx=msg.trace
+        )
+
+    # ------------------------------------------------------------------
+    # Scheduled server (control-plane QoS path, repro.sched)
+    # ------------------------------------------------------------------
+    def start_scheduled_server(
+        self,
+        core: Core,
+        scheduler,
+        source: str,
+        handler: Callable[..., Generator],
+        response_size: int = DEFAULT_MSG_BYTES,
+    ) -> None:
+        """Drain the request ring into a control-plane scheduler.
+
+        One *puller* process on ``core`` receives requests and submits
+        them to ``scheduler`` (a ``repro.sched.RequestScheduler``)
+        tagged with ``source`` (the co-processor's name).  Admission
+        rejections are answered immediately on this core; admitted
+        requests execute later on the scheduler's shared worker pool
+        via :meth:`serve_one`.
+        """
+        handler = _adapt_handler(handler)
+        scheduler.register_source(source, self)
+        proc = self.engine.spawn(
+            self._scheduled_pull(core, scheduler, source, handler,
+                                 response_size),
+            name=f"{self.name}.pull{core.cid}",
+        )
+        self._servers.append(proc)
+
+    def _scheduled_pull(
+        self,
+        core: Core,
+        scheduler,
+        source: str,
+        handler: Callable[..., Generator],
+        response_size: int,
+    ) -> Generator:
+        try:
+            while self._running:
+                msg: RpcMessage = yield from self.request_ring.recv(core)
+                verdict = scheduler.submit(
+                    source, self, msg, handler, response_size
+                )
+                if verdict is not None:
+                    yield from self.reply_error(
+                        core, msg, verdict, response_size
+                    )
+        except Interrupt:
+            pass  # clean shutdown via stop()
 
     # ------------------------------------------------------------------
     # Shutdown (tests / examples)
