@@ -26,8 +26,8 @@ substitution rationale):
   and figure.
 """
 
-__version__ = "1.0.0"
-
 from .sim import Engine
+
+__version__ = "1.0.0"
 
 __all__ = ["Engine", "__version__"]

@@ -14,7 +14,7 @@ by the (parallel) compute.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Sequence, Tuple
+from typing import Dict, Generator, List, Sequence
 
 from ..fs.vfs import O_CREAT, O_RDWR, Vfs
 from ..hw.cpu import Core

@@ -10,9 +10,7 @@ meaningful).  Everything is deterministic per seed.
 
 from __future__ import annotations
 
-import math
-import random
-from typing import Generator, List, Tuple
+from typing import Generator
 
 import numpy as np
 

@@ -21,19 +21,10 @@ Stacks (file system):
 from __future__ import annotations
 
 import random
-from typing import Dict, Generator, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..core import P2P, SolrosConfig, SolrosSystem
-from ..fs import (
-    BlockDevice,
-    ExtFS,
-    LocalFsBackend,
-    NfsClientBackend,
-    O_CREAT,
-    O_RDWR,
-    Vfs,
-    build_virtio_fs,
-)
+from ..fs import BlockDevice, ExtFS, LocalFsBackend, NfsClientBackend, O_RDWR, Vfs, build_virtio_fs
 from ..hw import KB, MB, build_machine, default_params
 from ..net import SocketAddr
 from ..net.testbed import NetTestbed

@@ -7,7 +7,7 @@ header, the measured series, and the paper-expected shape next to it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
 __all__ = ["render_table", "render_series", "banner", "fmt"]
 

@@ -11,7 +11,7 @@ untrusted and unauthorized accesses from co-processors").
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional
+from typing import Generator, Optional
 
 from ..fs.blockdev import BlockDevice
 from ..fs.buffercache import BufferCache

@@ -10,7 +10,7 @@ service attaches — the socket layer on the TCP stub.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Optional
 
 from ..fs.stub import SolrosFsBackend
 from ..fs.vfs import Vfs

@@ -15,7 +15,7 @@ no single co-processor sees cross-plane access patterns.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Optional, Set
+from typing import Dict, Generator, Set
 
 from ..fs.buffercache import BufferCache
 from ..fs.extfs import ExtFS

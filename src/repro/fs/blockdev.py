@@ -13,7 +13,7 @@ completion interrupts.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Sequence, Tuple
+from typing import Dict, Generator, List, Sequence, Tuple
 
 from ..hw.cpu import Core
 from ..hw.nvme import NvmeDevice, NvmeOp

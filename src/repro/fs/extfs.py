@@ -16,7 +16,8 @@ executing core's processor kind) plus real device I/O.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Tuple
+import json
+from typing import Dict, Generator, List, Optional
 
 from ..hw.cpu import Core
 from ..sim.engine import SimError
@@ -32,8 +33,6 @@ from .errors import (
 from .layout import DIRECTORY, FILE, Inode, SuperBlock
 
 __all__ = ["ExtFS"]
-
-import json
 
 # CPU work units (host-core nanoseconds; Phi pays the branchy multiplier).
 FS_BASE_UNITS = 900        # syscall-path bookkeeping per operation

@@ -68,8 +68,11 @@ class Twrite:
     data: Optional[bytes] = field(default=None, compare=False)
 
 
+# Kept for 9P protocol completeness even though the stub delegates
+# creation through Topen(O_CREAT); the proxy still handles it for
+# foreign (non-repro) clients speaking the wire format.
 @dataclass(frozen=True)
-class Tcreate:
+class Tcreate:  # lint: allow(rpc-conformance)
     path: str
 
 

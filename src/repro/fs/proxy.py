@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, Optional, Tuple
 
-from ..core.policy import BUFFERED, P2P, DataPathPolicy, PathDecision
+from ..core.policy import P2P, DataPathPolicy, PathDecision
 from ..hw.cpu import CPU, Core
 from ..hw.topology import Fabric
 from ..obs.tracer import NULL_TRACER

@@ -19,19 +19,7 @@ from typing import Any, Generator, Optional
 from ..hw.cpu import CPU, Core
 from ..sched.qos import QOS_NORMAL, Qos, RetryPolicy, SchedRejected
 from ..transport.rpc import RemoteCallError, RpcChannel
-from .ninep import (
-    Tclunk,
-    Tcreate,
-    Tfsync,
-    Tmkdir,
-    Topen,
-    Tread,
-    Treaddir,
-    Tremove,
-    Tstat,
-    Twrite,
-    wire_bytes,
-)
+from .ninep import Tclunk, Tfsync, Tmkdir, Topen, Tread, Treaddir, Tremove, Tstat, Twrite, wire_bytes
 from .vfs import FsBackend
 
 __all__ = ["SolrosFsBackend"]

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, Optional
 
 from ..hw.cpu import Core
-from .errors import BadFileDescriptor, FileNotFound, InvalidArgument
+from .errors import BadFileDescriptor, InvalidArgument
 
 __all__ = [
     "FsBackend",

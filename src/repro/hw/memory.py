@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, List, Optional
 
+from ..lint.sanitize import SANITIZER
 from ..sim.engine import Engine, Event
 from ..sim.resources import Resource
 from .params import CpuParams
@@ -164,6 +165,8 @@ class MemCell:
         one line, every write wakes all N and their re-reads serialize
         through the line bus: the O(waiters) broadcast cost.
         """
+        if SANITIZER.enabled:
+            SANITIZER.on_wait(core, self)
         while True:
             value = yield from self.load(core)
             if predicate(value):

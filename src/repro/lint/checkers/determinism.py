@@ -1,0 +1,191 @@
+"""Determinism: simulated packages must not read ambient entropy.
+
+Every benchmark claim (fig 8–18) rests on the simulation being a pure
+function of its seeds: the discrete-event clock is the only time, and
+all randomness flows from explicitly-seeded generators.  Inside the
+simulated packages this checker forbids:
+
+* wall-clock reads (``time.time``/``perf_counter``/``monotonic``/
+  ``time_ns``, ``datetime.now``/``utcnow``),
+* the process-global ``random`` module functions (``random.random``,
+  ``random.randint``, …) and unseeded constructors (``random.Random()``
+  or ``numpy.default_rng()`` with no arguments),
+* ``hash()`` of non-literal arguments — str/bytes hashing is
+  randomized per process (PYTHONHASHSEED), so seeding or keying off it
+  silently breaks run-to-run reproducibility,
+* ``id()`` used as an ordering key (``sorted(key=id)`` or inside a
+  comparison) — CPython allocation addresses differ across runs.
+
+Packages outside the simulated set (``repro.bench`` CLI timing, the
+lint tooling itself) may use wall-clock time freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Tuple
+
+from ..core import Checker, Finding, Module, Project, register
+
+RULE = "determinism"
+
+# Dotted-module prefixes the rule applies to.  ``repro.net`` is
+# included: its TCP model runs on the simulated clock and seeds
+# per-host RNGs, so ambient entropy there corrupts benches the same
+# way it would in the transport.
+SIM_PACKAGES = (
+    "repro.sim",
+    "repro.transport",
+    "repro.sched",
+    "repro.fs",
+    "repro.net",
+)
+
+_WALL_CLOCK = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "process_time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+}
+
+# Module-level functions of ``random`` that use the shared global RNG.
+_GLOBAL_RANDOM = {
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "choice",
+    "choices",
+    "sample",
+    "shuffle",
+    "gauss",
+    "normalvariate",
+    "expovariate",
+    "betavariate",
+    "getrandbits",
+    "randbytes",
+    "triangular",
+    "seed",
+}
+
+
+def _dotted(func: ast.AST) -> Optional[Tuple[str, str]]:
+    """``module.attr`` call targets as ``(module, attr)``."""
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id, func.attr
+    return None
+
+
+def in_scope(module_name: str) -> bool:
+    return any(
+        module_name == pkg or module_name.startswith(pkg + ".")
+        for pkg in SIM_PACKAGES
+    )
+
+
+@register
+class Determinism(Checker):
+    name = RULE
+    doc = (
+        "no wall-clock, global/unseeded RNGs, per-process hash() "
+        "seeds, or id()-keyed ordering inside simulated packages"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for mod in project.modules:
+            if not in_scope(mod.name):
+                continue
+            yield from self._check_module(mod)
+
+    def _check_module(self, mod: Module) -> Iterable[Finding]:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(mod, node)
+            elif isinstance(node, ast.keyword) and node.arg == "key":
+                if isinstance(node.value, ast.Name) and node.value.id == "id":
+                    yield Finding(
+                        RULE,
+                        mod.path,
+                        node.value.lineno,
+                        node.value.col_offset,
+                        "id() as a sort key orders by allocation "
+                        "address — varies across runs",
+                    )
+            elif isinstance(node, ast.Compare):
+                ordered = any(
+                    isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+                    for op in node.ops
+                )
+                if ordered:
+                    for side in (node.left, *node.comparators):
+                        if (
+                            isinstance(side, ast.Call)
+                            and isinstance(side.func, ast.Name)
+                            and side.func.id == "id"
+                        ):
+                            yield Finding(
+                                RULE,
+                                mod.path,
+                                side.lineno,
+                                side.col_offset,
+                                "ordering comparison on id() — "
+                                "allocation addresses vary across runs",
+                            )
+
+    def _check_call(self, mod: Module, call: ast.Call) -> Iterable[Finding]:
+        target = _dotted(call.func)
+        line, col = call.lineno, call.col_offset
+        if target in _WALL_CLOCK:
+            yield Finding(
+                RULE, mod.path, line, col,
+                f"wall-clock read {target[0]}.{target[1]}() in simulated "
+                f"package — use engine.now",
+            )
+            return
+        if target is not None:
+            owner, attr = target
+            if owner == "random" and attr in _GLOBAL_RANDOM:
+                yield Finding(
+                    RULE, mod.path, line, col,
+                    f"random.{attr}() uses the process-global RNG — "
+                    f"use a seeded random.Random(seed) instance",
+                )
+                return
+            if (
+                owner == "random"
+                and attr in ("Random", "SystemRandom")
+                and not call.args
+                and not call.keywords
+            ):
+                yield Finding(
+                    RULE, mod.path, line, col,
+                    f"random.{attr}() without a seed is entropy-seeded",
+                )
+                return
+            if (
+                attr == "default_rng"
+                and not call.args
+                and not call.keywords
+            ):
+                yield Finding(
+                    RULE, mod.path, line, col,
+                    "default_rng() without a seed is entropy-seeded",
+                )
+                return
+        if isinstance(call.func, ast.Name) and call.func.id == "hash" and call.args:
+            arg = call.args[0]
+            if not isinstance(arg, ast.Constant) or isinstance(
+                arg.value, (str, bytes)
+            ):
+                yield Finding(
+                    RULE, mod.path, line, col,
+                    "hash() is randomized per process for str/bytes "
+                    "(PYTHONHASHSEED) — derive seeds with "
+                    "zlib.crc32 or an explicit integer",
+                )

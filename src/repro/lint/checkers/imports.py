@@ -1,0 +1,71 @@
+"""Unused imports (the pyflakes F401 class, self-hosted).
+
+Imported names that no expression, annotation, decorator, or
+``__all__`` entry references are dead weight — and in this codebase
+they have twice hidden real protocol drift (an opcode imported by the
+stub but never emitted).  ``__init__.py`` re-export modules are
+exempt: importing for namespace assembly is their job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Set, Tuple
+
+from ..core import Checker, Finding, Project, register
+
+RULE = "unused-import"
+
+
+def _imported_bindings(tree: ast.AST) -> Dict[str, Tuple[int, int, str]]:
+    """name -> (line, col, display) for every import binding."""
+    bindings: Dict[str, Tuple[int, int, str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                bindings[bound] = (node.lineno, node.col_offset, alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                bindings[bound] = (node.lineno, node.col_offset, alias.name)
+    return bindings
+
+
+def _used_names(tree: ast.AST) -> Set[str]:
+    used: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            # ``a.b.c`` uses the root name, collected via its Name node.
+            pass
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # __all__ entries and string annotations.
+            used.add(node.value)
+    return used
+
+
+@register
+class UnusedImports(Checker):
+    name = RULE
+    doc = "imported names must be referenced (F401); __init__.py exempt"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for mod in project.modules:
+            if mod.path.endswith("__init__.py"):
+                continue
+            bindings = _imported_bindings(mod.tree)
+            if not bindings:
+                continue
+            used = _used_names(mod.tree)
+            for name, (line, col, display) in sorted(bindings.items()):
+                if name not in used:
+                    yield Finding(
+                        RULE, mod.path, line, col,
+                        f"{display!r} imported but unused",
+                    )

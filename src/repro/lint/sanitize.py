@@ -1,0 +1,207 @@
+"""Runtime invariant sanitizer (lockdep-lite) for the transport stack.
+
+Armed by ``REPRO_SANITIZE=1`` in the environment.  When disabled every
+hook is a single attribute check, so the simulated fast path keeps its
+cost.  When enabled:
+
+* **Lock ordering** — every ``(lock held) -> (lock acquired)`` pair is
+  an edge in a global acquisition-order graph, keyed by lock *label*
+  (name + type) rather than instance, exactly like lockdep's lock
+  classes: two instances of the same ring's enqueue lock are one node.
+  An acquisition that closes a cycle (A taken while holding B, after B
+  was ever taken while holding A) raises :class:`SanitizerError` with
+  the witness edge set — the simulated analogue of lockdep's inversion
+  report.
+* **Ring-slot phases** — slots must move ``reserved -> ready ->
+  consumed -> done`` and must be ``copy_to``-ed before ``set_ready``
+  (the paper's decoupled enqueue/copy/ready protocol: readying an
+  uncopied slot publishes garbage to the consumer).  State lives in a
+  per-ring weak map, so dead rings cost nothing and recycled object
+  ids cannot alias.
+* **Wait-while-holding** — ``MemCell.wait_until`` while holding locks
+  is recorded (not raised: lock-internal handoff legitimately spins on
+  cells while queued) so tests can assert on the observed set.
+
+Everything is keyed per *core* (the simulated execution context), not
+per OS thread — the simulator is single-threaded but interleaves many
+logical cores.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class SanitizerError(AssertionError):
+    """An ordering or phase invariant was violated at runtime."""
+
+
+def _label(obj: object) -> str:
+    name = getattr(obj, "name", None)
+    if name:
+        return f"{type(obj).__name__}({name})"
+    return f"{type(obj).__name__}@{id(obj):#x}"
+
+
+class _RingState:
+    """Per-ring slot phase tracking (attached via weak map)."""
+
+    __slots__ = ("phase", "copied")
+
+    def __init__(self) -> None:
+        self.phase: Dict[int, str] = {}
+        self.copied: Set[int] = set()
+
+
+class Sanitizer:
+    """Global invariant monitor; one instance lives at ``SANITIZER``."""
+
+    def __init__(self, enabled: Optional[bool] = None) -> None:
+        if enabled is None:
+            enabled = os.environ.get("REPRO_SANITIZE", "") == "1"
+        self.enabled = bool(enabled)
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget all state (between tests / simulations)."""
+        # core -> locks currently held, innermost last.  Strong refs
+        # are fine: entries only live while the lock is held.
+        self._held: Dict[object, List[object]] = {}
+        # Acquisition-order edges between lock labels (lock classes).
+        self.lock_order_edges: Set[Tuple[str, str]] = set()
+        # ring -> _RingState; dies with the ring.
+        self._rings: "weakref.WeakKeyDictionary[object, _RingState]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self.waits_while_holding: List[Tuple[str, str]] = []
+        # Total acquisitions observed — lets tests assert the hooks
+        # actually ran before trusting an empty order graph.
+        self.acquires = 0
+
+    # ------------------------------------------------------------------
+    # Lock hooks
+    # ------------------------------------------------------------------
+    def on_acquire(self, core: object, lock: object) -> None:
+        self.acquires += 1
+        held = self._held.setdefault(core, [])
+        label = _label(lock)
+        for h in held:
+            if h is lock:
+                raise SanitizerError(
+                    f"core {core!r} re-acquired {label} it already "
+                    f"holds (self-deadlock)"
+                )
+            edge = (_label(h), label)
+            if edge not in self.lock_order_edges:
+                if (edge[1], edge[0]) in self.lock_order_edges:
+                    raise SanitizerError(
+                        f"lock-order inversion: {edge[0]} -> {edge[1]} "
+                        f"(this acquisition, core {core!r}) conflicts "
+                        f"with the previously observed order "
+                        f"{edge[1]} -> {edge[0]}"
+                    )
+                self.lock_order_edges.add(edge)
+                self._check_cycle(label)
+        held.append(lock)
+
+    def on_release(self, core: object, lock: object) -> None:
+        held = self._held.get(core, [])
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] is lock:
+                del held[i]
+                return
+        raise SanitizerError(
+            f"core {core!r} released {_label(lock)} it does not hold"
+        )
+
+    def _check_cycle(self, start: str) -> None:
+        """DFS from ``start``; reaching it again means the newest edge
+        closed a cycle (length > 2 — inversions are caught earlier)."""
+        stack = [b for (a, b) in self.lock_order_edges if a == start]
+        seen: Set[str] = set()
+        while stack:
+            node = stack.pop()
+            if node == start:
+                raise SanitizerError(
+                    f"lock-order cycle through {start}: "
+                    f"edges {sorted(self.lock_order_edges)}"
+                )
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(
+                b for (a, b) in self.lock_order_edges if a == node
+            )
+
+    # ------------------------------------------------------------------
+    # MemCell wait hook
+    # ------------------------------------------------------------------
+    def on_wait(self, core: object, cell: object) -> None:
+        held = self._held.get(core, [])
+        if held:
+            self.waits_while_holding.append(
+                (_label(held[-1]), _label(cell))
+            )
+
+    # ------------------------------------------------------------------
+    # Ring-slot phase hooks
+    # ------------------------------------------------------------------
+    _TRANSITIONS = {
+        "reserved": {"ready"},
+        "ready": {"consumed"},
+        "consumed": {"done"},
+    }
+
+    def _ring_state(self, ring: object) -> _RingState:
+        state = self._rings.get(ring)
+        if state is None:
+            state = self._rings[ring] = _RingState()
+        return state
+
+    def on_slot_reserve(self, ring: object, index: int) -> None:
+        state = self._ring_state(ring)
+        prev = state.phase.get(index)
+        if prev is not None:
+            raise SanitizerError(
+                f"slot {_label(ring)}#{index} re-reserved while in "
+                f"phase {prev!r}"
+            )
+        state.phase[index] = "reserved"
+        state.copied.discard(index)
+
+    def on_slot_copy(self, ring: object, index: int) -> None:
+        self._ring_state(ring).copied.add(index)
+
+    def on_slot_phase(self, ring: object, index: int, phase: str) -> None:
+        state = self._ring_state(ring)
+        prev = state.phase.get(index)
+        if phase == "ready" and index not in state.copied:
+            raise SanitizerError(
+                f"slot {_label(ring)}#{index} set_ready before copy_to "
+                f"— an uncopied payload would be published to the "
+                f"consumer"
+            )
+        if prev is None or phase not in self._TRANSITIONS.get(prev, set()):
+            raise SanitizerError(
+                f"slot {_label(ring)}#{index} illegal phase transition "
+                f"{prev!r} -> {phase!r}"
+            )
+        if phase == "done":
+            # Terminal: drop the record so state stays bounded over
+            # long simulations (seqs are never reused).
+            del state.phase[index]
+            state.copied.discard(index)
+            return
+        state.phase[index] = phase
+        if phase == "consumed":
+            # The consumer-side copy_from happens next; reset the
+            # copied mark so producer reuse starts clean.
+            state.copied.discard(index)
+
+
+SANITIZER = Sanitizer()

@@ -11,7 +11,7 @@ store's shard key).
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Sequence
 
 from ..sim.engine import SimError
 

@@ -11,7 +11,7 @@ itself pulling payload bytes off the inbound ring (rb_copy_from_rb_buf
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional, Tuple
+from typing import Any, Generator, Optional
 
 from ..hw.cpu import Core
 from ..sched.qos import QOS_NORMAL, Qos

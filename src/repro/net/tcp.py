@@ -22,6 +22,7 @@ stock-Phi networking setup).
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Any, Dict, Generator, Optional, Tuple
 
 from ..hw.cpu import CPU, Core
@@ -30,7 +31,7 @@ from ..hw.topology import Fabric
 from ..sim.engine import Engine, SimError
 from ..sim.primitives import Store
 from ..sim.resources import Resource
-from .packets import MSS, Segment, SocketAddr
+from .packets import Segment, SocketAddr
 
 __all__ = [
     "Wire",
@@ -191,7 +192,9 @@ class TcpHost:
         self.name = name
         self.cpu = cpu
         self.jitter = jitter
-        self._rng = random.Random((hash(name) & 0xFFFF) ^ seed)
+        # crc32, not hash(): str hashing is randomized per process
+        # (PYTHONHASHSEED), which would make jitter non-reproducible.
+        self._rng = random.Random((zlib.crc32(name.encode()) & 0xFFFF) ^ seed)
         # Receive processing serializes on the softirq cores.  Hosts
         # get multi-queue NIC + RSS (4 queues); the MIC's network path
         # effectively funnels through one — a real source of the

@@ -16,7 +16,7 @@ be followed across tracks.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .metrics import Gauge, MetricsRegistry
 from .tracer import Span, Tracer

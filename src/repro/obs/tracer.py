@@ -27,7 +27,7 @@ Categories used by the stack (see ``docs/OBSERVABILITY.md``):
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 __all__ = ["Span", "SpanContext", "Tracer", "NullTracer", "NULL_TRACER"]
 

@@ -19,7 +19,6 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ..sim.engine import SimError
-from .qos import CLASS_BULK, CLASS_RT
 
 __all__ = [
     "DispatchPolicy",

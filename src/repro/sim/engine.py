@@ -244,6 +244,17 @@ class Process(Event):
                 self._throw_in(SimError(f"negative delay: {command}"))
                 return
             self.engine._schedule(delay, lambda: self._step(None, None))
+        elif hasattr(command, "send") and hasattr(command, "throw"):
+            # A generator was yielded directly — almost always a
+            # sub-coroutine called without ``yield from``, which would
+            # otherwise silently skip its simulated work.
+            self._throw_in(
+                SimError(
+                    f"process {self.name} yielded a generator "
+                    f"{command!r} — did you mean 'yield from'? "
+                    f"(bare 'yield gen' discards the coroutine)"
+                )
+            )
         else:
             self._throw_in(
                 SimError(

@@ -9,7 +9,7 @@ PCIe links, QPI, the NVMe data bus, and the Ethernet wire are modelled.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Generator, Optional
+from typing import Deque, Generator
 
 from .engine import Engine, Event, SimError
 

@@ -7,7 +7,7 @@ deliberately avoided so results are identical across numpy versions).
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 __all__ = [
     "percentile",

@@ -9,7 +9,7 @@ a sub-generator with :meth:`timed`.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Tuple
+from typing import Dict, Generator, List, Tuple
 
 from .engine import Engine
 

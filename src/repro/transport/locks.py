@@ -9,10 +9,10 @@ from the coherence cost model rather than being assumed.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Generator, Optional
 
 from ..hw.cpu import CPU, Core
-from ..hw.memory import MemCell
+from ..lint.sanitize import SANITIZER
 
 __all__ = ["TicketLock", "MCSLock", "MCSNode"]
 
@@ -27,14 +27,19 @@ class TicketLock:
 
     def __init__(self, cpu: CPU, name: str = "ticket"):
         self.cpu = cpu
+        self.name = name
         self._next = cpu.new_cell(0, name=f"{name}.next")
         self._serving = cpu.new_cell(0, name=f"{name}.serving")
 
     def acquire(self, core: Core) -> Generator:
         ticket = yield from self._next.fetch_and_add(core, 1)
         yield from self._serving.wait_until(core, lambda v: v == ticket)
+        if SANITIZER.enabled:
+            SANITIZER.on_acquire(core, self)
 
     def release(self, core: Core) -> Generator:
+        if SANITIZER.enabled:
+            SANITIZER.on_release(core, self)
         serving = yield from self._serving.load(core)
         yield from self._serving.store(core, serving + 1)
 
@@ -69,12 +74,15 @@ class MCSLock:
         yield from node.locked.store(core, True)
         yield from node.next.store(core, None)
         prev: Optional[MCSNode] = yield from self._tail.swap(core, node)
-        if prev is None:
-            return  # uncontended
-        yield from prev.next.store(core, node)
-        yield from node.locked.wait_until(core, lambda v: not v)
+        if prev is not None:  # contended: queue behind prev
+            yield from prev.next.store(core, node)
+            yield from node.locked.wait_until(core, lambda v: not v)
+        if SANITIZER.enabled:
+            SANITIZER.on_acquire(core, self)
 
     def release(self, core: Core, node: MCSNode) -> Generator:
+        if SANITIZER.enabled:
+            SANITIZER.on_release(core, self)
         successor = yield from node.next.load(core)
         if successor is None:
             swapped = yield from self._tail.compare_and_swap(core, node, None)

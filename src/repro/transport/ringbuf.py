@@ -39,6 +39,7 @@ from typing import Any, Deque, Generator, Optional
 
 from ..hw.cpu import CPU, Core
 from ..hw.topology import Fabric
+from ..lint.sanitize import SANITIZER
 from ..obs.tracer import NULL_TRACER
 from ..sim.engine import Engine, SimError
 from .combining import CombiningQueue
@@ -355,6 +356,8 @@ class RingBuffer:
                 return _WOULD_BLOCK
         self._seq += 1
         slot = Slot(self._seq, size)
+        if SANITIZER.enabled:
+            SANITIZER.on_slot_reserve(self, slot.seq)
         yield from self._tail_cell.store(core, self._seq)
         if not self.policy.lazy_update:
             if self.master_cpu is not self.sender_cpu:
@@ -379,6 +382,8 @@ class RingBuffer:
             )
         yield from self._data_copy(core, slot.size, into_ring=True)
         slot.data = data
+        if SANITIZER.enabled:
+            SANITIZER.on_slot_copy(self, slot.seq)
         if span is not None:
             self.tracer.end(span)
 
@@ -386,6 +391,8 @@ class RingBuffer:
         """Mark the slot dequeueable (rb_set_ready)."""
         if slot.state != _RESERVED:
             raise SimError(f"set_ready on {slot.state} slot")
+        if SANITIZER.enabled:
+            SANITIZER.on_slot_phase(self, slot.seq, "ready")
         yield from self._slot_header_write(core, writer_is_sender=True)
         slot.state = _READY
         if self.tracer.enabled and slot.trace is not None:
@@ -423,6 +430,8 @@ class RingBuffer:
             if not self._head_ready():
                 return _WOULD_BLOCK
         slot = self._to_dequeue.popleft()
+        if SANITIZER.enabled:
+            SANITIZER.on_slot_phase(self, slot.seq, "consumed")
         slot.state = _CONSUMED
         self._unfreed.append(slot)
         yield from self._head_cell.store(core, slot.seq)
@@ -458,6 +467,8 @@ class RingBuffer:
         """Release the slot's space (rb_set_done)."""
         if slot.state != _CONSUMED:
             raise SimError(f"set_done on {slot.state} slot")
+        if SANITIZER.enabled:
+            SANITIZER.on_slot_phase(self, slot.seq, "done")
         yield from self._slot_header_write(core, writer_is_sender=False)
         slot.state = _DONE
         # Space is reclaimed in ring order.

@@ -15,7 +15,7 @@ lines.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Generator, Optional, Tuple
+from typing import Any, Deque, Generator
 
 from ..hw.cpu import CPU, Core
 from ..sim.engine import Engine

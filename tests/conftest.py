@@ -1,0 +1,18 @@
+"""Shared fixtures.
+
+The runtime sanitizer (``REPRO_SANITIZE=1``) keeps a global
+acquisition-order graph keyed by object identity; without a reset
+between tests, recycled ids and cross-simulation edges produce false
+inversions.  Each test starts with a clean graph.
+"""
+
+import pytest
+
+from repro.lint.sanitize import SANITIZER
+
+
+@pytest.fixture(autouse=True)
+def _reset_sanitizer():
+    SANITIZER.reset()
+    yield
+    SANITIZER.reset()

@@ -45,8 +45,8 @@ def test_render_series_aligns_columns():
     text = render_series(
         "S", "x", [1, 2], {"one": [10.0, 20.0], "two": [0.5, 0.25]}
     )
-    lines = [l for l in text.splitlines() if l.strip()]
-    header = next(l for l in lines if "one" in l)
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    header = next(ln for ln in lines if "one" in ln)
     assert "two" in header
     assert "x" in header
 

@@ -21,7 +21,7 @@ from repro.fs import (
 from repro.hw import KB, MB, build_machine
 from repro.net import SocketAddr
 from repro.net.testbed import NetTestbed
-from repro.sim import Engine, WouldBlock
+from repro.sim import Engine
 from repro.transport import RemoteCallError, RingBuffer, RpcChannel
 
 

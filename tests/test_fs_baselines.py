@@ -13,7 +13,7 @@ from repro.fs import (
     Vfs,
     build_virtio_fs,
 )
-from repro.hw import KB, MB, build_machine
+from repro.hw import MB, build_machine
 from repro.sim import Engine
 
 

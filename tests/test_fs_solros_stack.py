@@ -3,8 +3,8 @@ ExtFS → NVMe), plus the data-path policy in action."""
 
 import pytest
 
-from repro.core import BUFFERED, P2P, SolrosConfig, SolrosSystem
-from repro.fs import O_BUFFER, O_CREAT, O_RDWR, FileNotFound
+from repro.core import SolrosSystem
+from repro.fs import O_BUFFER, O_CREAT, O_RDWR
 from repro.hw import KB, MB
 from repro.sim import Engine
 from repro.transport import RemoteCallError

@@ -1,6 +1,5 @@
 """Unit tests for the cache-coherence cost model."""
 
-import pytest
 
 from repro.hw import HOST_CPU, PHI_CPU, MemCell
 from repro.sim import Engine

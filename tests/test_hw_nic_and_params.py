@@ -3,14 +3,11 @@
 import pytest
 
 from repro.hw import (
-    GB,
     HOST_CPU,
     KB,
     MB,
     PHI_CPU,
-    HwParams,
     Machine,
-    NicParams,
     build_machine,
     default_params,
 )

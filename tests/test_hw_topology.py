@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hw import KB, MB, Machine, build_machine, default_params
+from repro.hw import MB, Machine, build_machine, default_params
 from repro.sim import Engine, SimError
 
 
@@ -42,20 +42,20 @@ def test_p2p_detection(machine):
 
 def test_path_links_same_numa_p2p(machine):
     links = machine.fabric.path_links("nvme0", "phi0")
-    names = [l.name for l in links]
+    names = [link.name for link in links]
     assert names == ["nvme0.up", "phi0.down"]
 
 
 def test_path_links_cross_numa_p2p_includes_relay(machine):
     links = machine.fabric.path_links("nvme0", "phi2")
-    names = [l.name for l in links]
+    names = [link.name for link in links]
     assert "relay01" in names
     assert "qpi01" in names
 
 
 def test_cross_numa_host_path_has_no_relay(machine):
     links = machine.fabric.path_links("numa1", "phi0")
-    names = [l.name for l in links]
+    names = [link.name for link in links]
     assert "relay10" not in names
     assert "qpi10" in names
 

@@ -48,7 +48,7 @@ def run_client_echo_server(eng, tb, api, phi, port=9000, messages=5):
             results.append(payload)
         yield from conn.close(core)
 
-    server_proc = eng.spawn(server(eng))
+    eng.spawn(server(eng))
     client_proc = eng.spawn(client(eng))
     eng.run()
     assert client_proc.ok

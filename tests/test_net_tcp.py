@@ -1,6 +1,5 @@
 """Unit tests for the simplified TCP stack."""
 
-import pytest
 
 from repro.hw import build_machine
 from repro.net import LoopbackWire, Network, SocketAddr, TcpHost

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import SolrosConfig, SolrosSystem
 from repro.hw import KB, MB
-from repro.fs import O_CREAT, O_RDWR
 from repro.sim import Engine
 
 

@@ -3,7 +3,7 @@ NVMe stats reset, store ordering under handoff, topology queries."""
 
 import pytest
 
-from repro.hw import KB, MB, NvmeOp, build_machine
+from repro.hw import KB, NvmeOp, build_machine
 from repro.net.packets import MSS, Segment, SocketAddr
 from repro.sim import Engine, SimError
 from repro.transport import RingBuffer, RingPolicy

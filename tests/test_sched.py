@@ -21,7 +21,6 @@ from repro.sched import (
     RequestScheduler,
     RetryPolicy,
     SCHED_POLICIES,
-    SchedDeadlineExceeded,
     SchedRejected,
     SchedRequest,
     make_policy,
@@ -254,7 +253,6 @@ def test_admission_rejection_triggers_stub_backoff():
 def test_rejection_verdict_carries_retry_hint():
     eng, system = _boot("fifo", sched_source_credits=1)
     sched = system.scheduler
-    phi = system.dataplane(0)
     sched._outstanding["phi0"] = 1  # simulate a busy source
     verdict = sched.submit("phi0", None, _FakeMsg(), None, 64)
     assert isinstance(verdict, SchedRejected)
@@ -492,3 +490,49 @@ def test_scheduler_metrics_exported():
     assert metrics.get("sched.submitted").value > 0
     assert metrics.get("sched.src.phi0.bytes").value > 0
     assert metrics.get("sched.wait_ns").count > 0
+
+
+# ----------------------------------------------------------------------
+# Sanitizer regression: the scheduled path never nests lock acquisition
+# ----------------------------------------------------------------------
+def test_drr_priority_lock_order_graph_is_empty():
+    """Lock in the current (correct) acquisition-order graph of the
+    drr+priority bench: with MCS-locked rings (combining off, so the
+    transport actually takes locks) the stub -> ring -> proxy ->
+    scheduler handoff never holds two locks at once.  An empty order
+    graph makes ABBA deadlock structurally impossible; any future
+    nesting shows up here before it can become an inversion."""
+    from repro.lint.sanitize import SANITIZER
+    from repro.transport.ringbuf import RingPolicy
+
+    was_enabled = SANITIZER.enabled
+    SANITIZER.enabled = True
+    try:
+        eng = Engine()
+        cfg = SolrosConfig(
+            disk_blocks=8192, max_inodes=16, sched_policy="drr+priority",
+            ring_policy=RingPolicy(combining=False),
+        )
+        system = SolrosSystem(eng, cfg)
+        eng.run_process(system.boot(n_phis=2))
+        payload = b"w" * (64 * 1024)
+        for i in range(2):
+            _write_file(eng, system.dataplane(i), f"/f{i}.bin", payload)
+        rt = system.dataplane(0).fs_view(QOS_RT)
+        bulk = system.dataplane(1).fs_view(QOS_BULK)
+
+        def tenant(vfs, phi, path, ops):
+            for _ in range(ops):
+                yield from _read_once(vfs, phi.core(0), path, len(payload))
+
+        eng.spawn(tenant(rt, system.dataplane(0), "/f0.bin", 4))
+        eng.spawn(tenant(bulk, system.dataplane(1), "/f1.bin", 4))
+        eng.run()
+        # The hooks must actually have run for the empty graph to mean
+        # anything.
+        assert SANITIZER.acquires > 0
+        assert SANITIZER.lock_order_edges == set()
+        assert SANITIZER.waits_while_holding == []
+    finally:
+        SANITIZER.enabled = was_enabled
+        SANITIZER.reset()

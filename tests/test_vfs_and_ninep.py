@@ -9,7 +9,6 @@ from repro.fs import (
     ExtFS,
     InvalidArgument,
     LocalFsBackend,
-    O_BUFFER,
     O_CREAT,
     O_RDWR,
     O_TRUNC,
