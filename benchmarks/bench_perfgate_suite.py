@@ -1,0 +1,36 @@
+"""Perf-gate suite: the repository's own performance trajectory.
+
+Not a paper figure — this runs `repro.bench.perfgate`'s deterministic
+hot-path micro-benchmarks (ring combining, lazy replication, adaptive
+copy, fs data path, TCP RTT, scheduler dispatch) and, when a blessed
+``BENCH_baseline.json`` is committed, diffs against it with the same
+tolerance model the CI perf-gate job enforces.  All timings come off
+the virtual clock, so a failure here is a real cost-model or
+algorithm change, never machine noise.
+
+Standalone: ``python -m repro.bench perfgate`` or
+``python -m repro.bench.perfgate run``.
+"""
+
+import json
+
+from repro.bench.perfgate import baseline_path, compare_docs, run_suite
+
+
+def test_perfgate_suite(benchmark):
+    doc = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    width = max(len(name) for name in doc["metrics"])
+    print("\nperf-gate suite (virtual-clock, deterministic):")
+    for name in sorted(doc["metrics"]):
+        m = doc["metrics"][name]
+        print(f"  {name:<{width}}  {m['value']:>14,.3f} {m['units']}")
+    assert not doc["errors"], f"crashed benchmarks: {doc['errors']}"
+    baseline = baseline_path()
+    if baseline.exists():
+        report = compare_docs(json.loads(baseline.read_text()), doc)
+        print(report.render())
+        assert report.ok, (
+            "perf regression vs committed BENCH_baseline.json — "
+            "if intentional, bless with 'python -m repro.bench.perfgate "
+            "run --update-baseline' (see docs/PERFORMANCE.md)"
+        )

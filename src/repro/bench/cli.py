@@ -67,7 +67,14 @@ def run_one(short: str, path: str) -> bool:
     """
     spec = importlib.util.spec_from_file_location(f"bench_{short}", path)
     module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
+    try:
+        spec.loader.exec_module(module)
+    except Exception as error:
+        # A module that crashes at import must not abort an 'all' run:
+        # later experiments still execute and any --trace-out /
+        # --metrics-out data collected so far is still written.
+        print(f"\n[{short}] IMPORT ERROR: {error!r}")
+        return False
     tests = [
         getattr(module, name)
         for name in dir(module)

@@ -1,0 +1,53 @@
+"""``repro.bench.perfgate`` — deterministic perf-regression gate.
+
+A curated suite of fast, seeded micro-benchmarks over the stack's hot
+paths (ring-buffer combining, lazy control-variable replication, the
+adaptive copy engine, the delegated-read data path, TCP RTT through
+the network service, scheduler dispatch).  All timings come from the
+simulation engine's virtual clock, so the numbers are bit-reproducible
+across machines and CI can hard-gate on them — no noisy-runner
+tolerance bands, only *semantic* tolerances for intended-neutral code
+drift.
+
+See ``docs/PERFORMANCE.md`` for the suite, the tolerance model, and
+the baseline-blessing workflow.  CLI::
+
+    python -m repro.bench.perfgate run [--out BENCH_perf.json]
+    python -m repro.bench.perfgate compare BENCH_baseline.json BENCH_perf.json
+    python -m repro.bench.perfgate list
+"""
+
+from .compare import CompareError, CompareReport, Delta, compare_docs
+from .suite import (
+    BASELINE_NAME,
+    SCHEMA,
+    SUITE,
+    Benchmark,
+    MetricSpec,
+    baseline_path,
+    export_to_obs,
+    load_results,
+    repo_root,
+    run_suite,
+    to_json,
+    write_results,
+)
+
+__all__ = [
+    "SCHEMA",
+    "SUITE",
+    "BASELINE_NAME",
+    "Benchmark",
+    "MetricSpec",
+    "run_suite",
+    "to_json",
+    "write_results",
+    "load_results",
+    "export_to_obs",
+    "repo_root",
+    "baseline_path",
+    "compare_docs",
+    "CompareReport",
+    "CompareError",
+    "Delta",
+]

@@ -1,0 +1,190 @@
+"""Comparing two perf-gate result files against per-metric tolerances.
+
+The comparison is direction-aware: a metric only *regresses* when it
+moves beyond its tolerance in the *bad* direction (down for
+``higher``-is-better, up for ``lower``-is-better).  Movement beyond
+tolerance in the good direction is an *improvement* — reported so the
+author can bless the new numbers into the baseline, but never a
+failure.  A metric present in the baseline but absent from the
+current run (deleted benchmark, or a benchmark that crashed and left
+partial results) is treated as a regression; a metric new in the
+current run is informational.
+
+Tolerances and directions are taken from the *current* file — the
+suite definition in the code under test is authoritative — falling
+back to the baseline's for metrics the current suite no longer
+specifies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .suite import SCHEMA
+
+__all__ = ["CompareError", "Delta", "CompareReport", "compare_docs"]
+
+# Failure statuses: these make compare exit non-zero.
+_FAILING = ("regression", "missing")
+
+
+class CompareError(Exception):
+    """Unusable input (schema mismatch, malformed doc)."""
+
+
+class Delta:
+    """One metric's movement between baseline and current."""
+
+    __slots__ = (
+        "name", "status", "baseline", "current", "delta_pct",
+        "tolerance_pct", "direction", "units",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        status: str,
+        baseline: Optional[float],
+        current: Optional[float],
+        delta_pct: float,
+        tolerance_pct: float,
+        direction: str,
+        units: str,
+    ):
+        self.name = name
+        self.status = status
+        self.baseline = baseline
+        self.current = current
+        self.delta_pct = delta_pct
+        self.tolerance_pct = tolerance_pct
+        self.direction = direction
+        self.units = units
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "baseline": self.baseline,
+            "current": self.current,
+            "delta_pct": self.delta_pct,
+            "tolerance_pct": self.tolerance_pct,
+            "direction": self.direction,
+            "units": self.units,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Delta {self.name} {self.status} {self.delta_pct:+.2f}%>"
+
+
+class CompareReport:
+    """All deltas plus the pass/fail verdict."""
+
+    def __init__(self, deltas: List[Delta]):
+        self.deltas = deltas
+
+    @property
+    def ok(self) -> bool:
+        return not any(d.status in _FAILING for d in self.deltas)
+
+    def by_status(self, status: str) -> List[Delta]:
+        return [d for d in self.deltas if d.status == status]
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for d in self.deltas:
+            counts[d.status] = counts.get(d.status, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict:
+        return {
+            "ok": self.ok,
+            "counts": self.counts(),
+            "deltas": [d.to_dict() for d in self.deltas],
+        }
+
+    def render(self) -> str:
+        """Human-readable diff table (also the CI artifact)."""
+
+        def fmt(value: Optional[float]) -> str:
+            return "-" if value is None else f"{value:,.3f}"
+
+        width = max([len(d.name) for d in self.deltas] + [6])
+        lines = [
+            f"{'metric':<{width}}  {'baseline':>14}  {'current':>14}  "
+            f"{'delta':>9}  {'tol':>6}  status"
+        ]
+        for d in self.deltas:
+            delta = (
+                "-" if d.status in ("missing", "new")
+                else f"{d.delta_pct:+.2f}%"
+            )
+            lines.append(
+                f"{d.name:<{width}}  {fmt(d.baseline):>14}  "
+                f"{fmt(d.current):>14}  {delta:>9}  "
+                f"{d.tolerance_pct:>5.1f}%  {d.status}"
+            )
+        counts = self.counts()
+        summary = ", ".join(f"{n} {s}" for s, n in sorted(counts.items()))
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(f"perf-gate {verdict}: {summary}")
+        return "\n".join(lines)
+
+
+def _require_schema(label: str, doc: Dict) -> None:
+    schema = doc.get("schema")
+    if schema != SCHEMA:
+        raise CompareError(
+            f"{label}: unsupported schema {schema!r} (expected {SCHEMA!r}) "
+            f"— regenerate with 'python -m repro.bench.perfgate run'"
+        )
+    if not isinstance(doc.get("metrics"), dict):
+        raise CompareError(f"{label}: malformed result file (no metrics map)")
+
+
+def compare_docs(baseline: Dict, current: Dict) -> CompareReport:
+    """Diff ``current`` against ``baseline``; raises
+    :class:`CompareError` on schema mismatch."""
+    _require_schema("baseline", baseline)
+    _require_schema("current", current)
+    base_metrics = baseline["metrics"]
+    cur_metrics = current["metrics"]
+    deltas: List[Delta] = []
+    for name in sorted(set(base_metrics) | set(cur_metrics)):
+        base = base_metrics.get(name)
+        cur = cur_metrics.get(name)
+        spec = cur or base  # current suite's spec wins
+        direction = spec.get("direction", "higher")
+        tolerance = float(spec.get("tolerance_pct", 0.0))
+        units = spec.get("units", "")
+        if cur is None:
+            deltas.append(Delta(
+                name, "missing", base["value"], None, 0.0,
+                tolerance, direction, units,
+            ))
+            continue
+        if base is None:
+            deltas.append(Delta(
+                name, "new", None, cur["value"], 0.0,
+                tolerance, direction, units,
+            ))
+            continue
+        bval, cval = float(base["value"]), float(cur["value"])
+        if bval == 0.0:
+            delta_pct = 0.0 if cval == 0.0 else float("inf") * (
+                1.0 if cval > 0 else -1.0
+            )
+        else:
+            delta_pct = (cval - bval) / abs(bval) * 100.0
+        # Signed badness: positive means "moved in the bad direction".
+        worse = -delta_pct if direction == "higher" else delta_pct
+        if worse > tolerance:
+            status = "regression"
+        elif -worse > tolerance:
+            status = "improvement"
+        else:
+            status = "ok"
+        deltas.append(Delta(
+            name, status, bval, cval, delta_pct,
+            tolerance, direction, units,
+        ))
+    return CompareReport(deltas)
