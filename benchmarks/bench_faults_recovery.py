@@ -1,0 +1,84 @@
+"""Chaos run: delegated I/O survives a seeded fault plan.
+
+The `repro.faults` acceptance experiment: four co-processor threads
+(readers and writers alternating) run a closed loop while the plan
+injects NVMe read/write errors and latency spikes, ring-slot stalls,
+PCIe link degradation, and one outright fs-proxy crash — all drawn
+from per-site seeded streams, so two runs are bit-identical.
+
+Expected shape:
+
+* **Every operation completes.**  NVMe errors on the P2P path degrade
+  to the host-staged buffered path inside the proxy; errors on the
+  buffered path surface at the co-processor as transient ``EIO`` and
+  are re-issued after backoff; the proxy crash is survived by the RPC
+  timeout + idempotent re-issue (the dedup cache keeps the re-issue
+  from re-executing completed work).
+* **The accounting adds up.**  The injector's ``faults.*`` counters
+  record every injected event and every recovery action; the stub's
+  retry count matches the injector's ``faults.rpc.retries``.
+* **Determinism.**  Same plan, same seed: identical per-op latencies
+  and identical fault counts, twice in a row (the CI chaos-smoke job
+  additionally diffs two exported metrics files byte-for-byte).
+"""
+
+from repro.bench import faults_chaos_run, render_table
+
+
+def run_figure():
+    return faults_chaos_run()
+
+
+def test_faults_recovery(benchmark):
+    r = benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    counts = r["counts"]
+    injected = {
+        name: n
+        for name, n in counts.items()
+        if n
+        and not name.startswith("faults.rpc.")
+        and name != "faults.fallback.buffered"
+    }
+    rows = [
+        [name.replace("faults.", ""), n] for name, n in sorted(counts.items()) if n
+    ]
+    print(
+        render_table(
+            "Chaos run: injected faults and recovery actions",
+            ["faults.* counter", "count"],
+            rows,
+            subtitle=(
+                f"{r['ops']} ops completed at {r['gbps']:.3f} GB/s; "
+                f"p50 {r['p50_us']:.1f} us, p99 {r['p99_us']:.1f} us; "
+                f"{r['stub_retries']} stub re-issues"
+            ),
+            col_width=28,
+        )
+    )
+    # The whole workload completed despite the chaos.
+    assert r["ops"] == 48, f"lost operations: {r['ops']}/48"
+    # The plan actually did damage — this is not a quiet run.
+    assert counts["faults.proxy.crashes"] >= 1
+    assert counts["faults.nvme.read_errors"] + counts["faults.nvme.write_errors"] > 0
+    assert counts["faults.nvme.latency_spikes"] > 0
+    assert counts["faults.ring.stalls"] > 0
+    assert counts["faults.pcie.degraded"] > 0
+    assert injected, "no faults injected"
+    # ... and recovery earned its keep: the crash forced timeouts and
+    # re-issues, P2P NVMe errors degraded to the buffered path.
+    assert counts["faults.rpc.timeouts"] >= 1
+    assert counts["faults.rpc.retries"] == r["stub_retries"] > 0
+    assert counts["faults.fallback.buffered"] >= 1
+    # Latency tail stretched but stayed bounded (retry budget held).
+    assert r["p99_us"] >= r["p50_us"]
+    # The NVMe breaker saw too few consecutive failures to trip.
+    assert all(b["state"] == "closed" for b in r["breakers"])
+
+
+def test_faults_recovery_deterministic(benchmark):
+    """Same plan, same seed: bit-for-bit identical chaos."""
+    a = faults_chaos_run()
+    b = faults_chaos_run()
+    assert a["samples"] == b["samples"]
+    assert a["counts"] == b["counts"]
+    assert a["stub_retries"] == b["stub_retries"]

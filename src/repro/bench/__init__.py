@@ -9,6 +9,7 @@ from .figures import (
     FS_STACKS,
     controlplane_aggregate_read,
     controlplane_scheduled_read,
+    faults_chaos_run,
     fs_random_io,
     sched_qos_overload,
     sched_qos_unloaded,
@@ -36,6 +37,7 @@ __all__ = [
     "controlplane_scheduled_read",
     "sched_qos_overload",
     "sched_qos_unloaded",
+    "faults_chaos_run",
     "render_table",
     "render_series",
     "banner",

@@ -47,6 +47,7 @@ __all__ = [
     "controlplane_scheduled_read",
     "sched_qos_overload",
     "sched_qos_unloaded",
+    "faults_chaos_run",
 ]
 
 FS_STACKS = ("host", "solros", "solros-xnuma", "solros-xnuma-p2p", "virtio", "nfs")
@@ -77,8 +78,13 @@ def setup_fs_stack(
     disk_blocks: int = DEFAULT_DISK_BLOCKS,
     cache_bytes: Optional[int] = 256 * MB,
     trace: bool = False,
+    overrides: Optional[dict] = None,
 ) -> FsSetup:
-    """Build one of the evaluation's file-system configurations."""
+    """Build one of the evaluation's file-system configurations.
+
+    ``overrides`` are extra :class:`SolrosConfig` fields (Solros stacks
+    only) — e.g. ``{"fault_plan": FaultPlan(...)}`` for chaos runs.
+    """
     eng = Engine()
     if stack == "host":
         m = build_machine(eng)
@@ -102,6 +108,7 @@ def setup_fs_stack(
             max_inodes=64,
             buffer_cache_bytes=cache_bytes,
             trace=trace,
+            **(overrides or {}),
         )
         system = SolrosSystem(eng, cfg)
         eng.run_process(system.boot(n_phis=phi_index + 1))
@@ -152,9 +159,10 @@ def fs_random_io(
     file_mb: int = DEFAULT_FILE_MB,
     total_mb: Optional[int] = None,
     seed: int = 1,
+    overrides: Optional[dict] = None,
 ) -> float:
     """Random read/write throughput in GB/s (the Fig. 1a/11/12 core)."""
-    setup = setup_fs_stack(stack, max_threads=n_threads)
+    setup = setup_fs_stack(stack, max_threads=n_threads, overrides=overrides)
     eng = setup.engine
     # Stacks cap usable cores (e.g. the Phi reserves dispatcher cores):
     # clamp like a real run would.
@@ -965,4 +973,113 @@ def sched_qos_overload(
         "rejected": state["rejected"],
         "workers_high_water": state["workers_high_water"],
         "stub_retries": stub_retries,
+    }
+
+
+# ----------------------------------------------------------------------
+# Fault injection + recovery (repro.faults)
+# ----------------------------------------------------------------------
+def faults_chaos_run(
+    seed: int = 7,
+    n_threads: int = 4,
+    ops_per_thread: int = 12,
+    block_size: int = 256 * KB,
+    rpc_timeout_ns: int = 800_000,
+) -> Dict:
+    """Delegated random I/O under a seeded chaos plan.
+
+    Four co-processor threads (readers and writers alternating) run a
+    closed loop against a control plane whose NVMe flips bits, whose
+    rings stall, and whose fs proxy crashes outright mid-run — all
+    drawn from per-site streams of ``seed``, so two runs are
+    bit-identical.  Every operation must still complete: NVMe errors
+    surface as transient ``EIO`` and are re-issued after backoff, the
+    proxy crash is survived by the RPC timeout + idempotent re-issue,
+    and latency spikes/stalls only stretch the clock.
+
+    Returns per-op latencies (measured inside the workers — leftover
+    timeout timers may extend ``engine.now`` after the last
+    completion), throughput, and the injector's own accounting.
+    """
+    from ..faults import FaultPlan, NvmeFaults, ProxyFaults, RingFaults
+    from ..sim.stats import percentile
+
+    eng = Engine()
+    plan = FaultPlan(
+        seed=seed,
+        nvme=NvmeFaults(
+            read_error_rate=0.04,
+            write_error_rate=0.04,
+            latency_spike_rate=0.08,
+        ),
+        ring=RingFaults(stall_rate=0.01, pcie_degrade_rate=0.03),
+        proxy=ProxyFaults(crash_at_requests=(5,), restart_after_ns=300_000),
+    )
+    cfg = SolrosConfig(
+        disk_blocks=DEFAULT_DISK_BLOCKS,
+        max_inodes=64,
+        fault_plan=plan,
+        rpc_timeout_ns=rpc_timeout_ns,
+    )
+    system = SolrosSystem(eng, cfg)
+    eng.run_process(system.boot(n_phis=1))
+    file_bytes = 64 * MB
+    # Preallocation is setup, not the system under test: disarm the
+    # injector around it so the chaos budget all lands on the run.
+    system.faults.armed = False
+    eng.run_process(
+        system.control.fs.preallocate(
+            system.machine.host_core(0), BENCH_FILE, file_bytes
+        )
+    )
+    system.faults.armed = True
+    dp = system.dataplane(0)
+    n_blocks = file_bytes // block_size
+    latencies: List[int] = []
+    moved = [0]
+    # engine.now keeps advancing after the last completion while
+    # leftover RPC-timeout timers drain, so the throughput window
+    # closes at the last *operation*, recorded inside the workers.
+    last_done = [0]
+
+    def worker(t):
+        op = "read" if t % 2 == 0 else "write"
+        rng = random.Random((seed, t).__repr__())
+        core = dp.core(t)
+        fd = yield from dp.fs.open(core, BENCH_FILE, O_RDWR)
+        for _ in range(ops_per_thread):
+            offset = rng.randrange(n_blocks) * block_size
+            t0 = eng.now
+            if op == "read":
+                data = yield from dp.fs.pread(core, fd, block_size, offset)
+                moved[0] += len(data)
+            else:
+                moved[0] += yield from dp.fs.pwrite(
+                    core, fd, offset, length=block_size
+                )
+            latencies.append(eng.now - t0)
+            last_done[0] = max(last_done[0], eng.now)
+        yield from dp.fs.close(core, fd)
+
+    start = eng.now
+    procs = [
+        eng.spawn(worker(t), name=f"chaos{t}") for t in range(n_threads)
+    ]
+    eng.run()
+    for p in procs:
+        if not p.ok:
+            raise p.value
+    state = system.faults_state()
+    stub_retries = dp.fs.backend.retries
+    system.shutdown()
+    elapsed = last_done[0] - start
+    return {
+        "ops": len(latencies),
+        "gbps": moved[0] / elapsed if elapsed else 0.0,
+        "p50_us": percentile(latencies, 50) / 1000.0,
+        "p99_us": percentile(latencies, 99) / 1000.0,
+        "samples": list(latencies),
+        "stub_retries": stub_retries,
+        "counts": state["counts"],
+        "breakers": state["breakers"],
     }

@@ -160,6 +160,21 @@ def _run_fs_read_buffered() -> Dict[str, float]:
     }
 
 
+def _run_faults_off() -> Dict[str, float]:
+    """The P2P read bench with an *empty* FaultPlan attached: every
+    injection hook is reached but draws nothing, so the number must
+    match ``fs.read.p2p.gbps`` exactly.  Guards "faults off costs
+    nothing" as a gated metric, not just a test assertion."""
+    from ...faults import FaultPlan
+
+    return {
+        "faults.off.read.gbps": fs_random_io(
+            "solros", 512 * KB, 4, total_mb=16, seed=SUITE_SEED,
+            overrides={"fault_plan": FaultPlan()},
+        ),
+    }
+
+
 def _run_tcp_rtt() -> Dict[str, float]:
     """64 B echo RTT through the Solros network service (Fig. 1b)."""
     samples = tcp_echo_samples("solros", n_messages=80, msg_size=64)
@@ -217,6 +232,12 @@ SUITE: List[Benchmark] = [
         "fs data path: delegated reads, buffered mode",
         [MetricSpec("fs.read.buffered.gbps", "GB/s", "higher", 2.0)],
         _run_fs_read_buffered,
+    ),
+    Benchmark(
+        "faults_off",
+        "fault injection disarmed: hooks must cost nothing",
+        [MetricSpec("faults.off.read.gbps", "GB/s", "higher", 0.5)],
+        _run_faults_off,
     ),
     Benchmark(
         "tcp_rtt",

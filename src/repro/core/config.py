@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from ..faults.plan import FaultPlan
 from ..hw.params import HwParams, MB, default_params
 from ..transport.ringbuf import RingPolicy
 
@@ -44,6 +45,20 @@ class SolrosConfig:
     sched_rt_reserve: int = 1           # workers pinned to CLASS_RT
     sched_shed_expired: bool = True
     sched_record_decisions: bool = False  # keep a decision trace
+    # Deterministic fault injection + recovery (repro.faults).  None
+    # keeps every injection hook dormant and the legacy path
+    # bit-identical (guarded by the perf-gate's faults.off metric).
+    fault_plan: Optional[FaultPlan] = None
+    # Per-call RPC timeout for delegated syscalls.  None disables the
+    # timeout machinery entirely (legacy wait-forever semantics); set
+    # it when a fault plan can crash proxies, so stubs recover via
+    # ETIMEDOUT + idempotent re-issue instead of hanging.
+    rpc_timeout_ns: Optional[int] = None
+    # Circuit breaker guarding the P2P data path (active only with a
+    # fault plan): consecutive failures before opening, and how long
+    # an open breaker waits before a half-open probe.
+    fault_breaker_threshold: int = 3
+    fault_breaker_reset_ns: int = 2_000_000
     # Cross-co-processor file prefetching (§4; needs the buffer cache).
     enable_prefetch: bool = False
     prefetch_min_accesses: int = 4

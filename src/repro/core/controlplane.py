@@ -46,6 +46,9 @@ class ControlPlaneOS:
         # Control-plane request scheduler (repro.sched); built during
         # format_storage() when config.sched_policy is set.
         self.scheduler = None
+        # Fault injector (repro.faults); built during format_storage()
+        # when config.fault_plan is set.
+        self.faults = None
         self._next_worker_core = 0
         # Observability hub (set by SolrosSystem before bring-up; may
         # stay None for directly-constructed control planes).
@@ -58,6 +61,15 @@ class ControlPlaneOS:
         """Create the block device and format the host file system."""
         core = core or self.host.core(0)
         cfg = self.config
+        if cfg.fault_plan is not None:
+            from ..faults import FaultInjector
+
+            # Disarmed until the file system exists: a chaos plan
+            # stresses the running system, it must never corrupt mkfs.
+            self.faults = FaultInjector(self.engine, cfg.fault_plan)
+            self.faults.armed = False
+            self.machine.nvme.faults = self.faults
+            self.machine.nic.faults = self.faults
         self.disk = BlockDevice(
             self.machine.nvme, cfg.disk_blocks, name="nvme0n1"
         )
@@ -76,7 +88,10 @@ class ControlPlaneOS:
             self.host,
             cache=self.cache,
             policy=self.policy,
+            breaker_threshold=cfg.fault_breaker_threshold,
+            breaker_reset_ns=cfg.fault_breaker_reset_ns,
         )
+        self.fs_proxy.faults = self.faults
         if cfg.enable_prefetch:
             if self.cache is None:
                 raise SimError("prefetching requires buffer_cache_bytes")
@@ -115,6 +130,10 @@ class ControlPlaneOS:
             self.machine.nvme.set_obs(self.obs.tracer, self.obs.metrics)
             if self.scheduler is not None:
                 self.scheduler.set_obs(self.obs.tracer, self.obs.metrics)
+            if self.faults is not None:
+                self.faults.set_obs(self.obs.tracer, self.obs.metrics)
+        if self.faults is not None:
+            self.faults.armed = True
         return self.fs
 
     def host_vfs(self) -> Vfs:
@@ -135,6 +154,8 @@ class ControlPlaneOS:
         """
         if self.fs_proxy is None:
             raise SimError("format_storage() first")
+        if self.faults is not None:
+            channel.set_faults(self.faults)
         if self.scheduler is not None:
             first = self.alloc_worker_cores(1)
             self.fs_proxy.serve(

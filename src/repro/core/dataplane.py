@@ -64,6 +64,9 @@ class DataPlaneOS:
         obs = self.control.obs
         if obs is not None and obs.enabled:
             self.fs_channel.set_obs(obs.tracer, obs.metrics)
+        # Bounded-wait recovery (repro.faults): None keeps the legacy
+        # wait-forever call path.
+        self.fs_channel.default_timeout_ns = cfg.rpc_timeout_ns
         # The response dispatcher runs on the co-processor's last core,
         # leaving low-numbered cores for applications.
         self.fs_channel.start_client(self.cpu.cores[-1])

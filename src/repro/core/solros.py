@@ -100,6 +100,22 @@ class SolrosSystem:
         sched = self.control.scheduler
         return None if sched is None else sched.state()
 
+    @property
+    def faults(self):
+        """The fault injector, or None when no FaultPlan is registered
+        (``config.fault_plan=None`` keeps the legacy path)."""
+        return self.control.faults
+
+    def faults_state(self) -> Optional[dict]:
+        """Snapshot of injected-fault counters + circuit breakers."""
+        injector = self.control.faults
+        if injector is None:
+            return None
+        state = injector.state()
+        if self.control.fs_proxy is not None:
+            state["breakers"] = self.control.fs_proxy.breaker_snapshots()
+        return state
+
     def shutdown(self) -> None:
         for dp in self._dataplanes.values():
             dp.shutdown()

@@ -22,6 +22,8 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, Optional, Tuple
 
 from ..core.policy import P2P, DataPathPolicy, PathDecision
+from ..faults.breaker import CircuitBreaker
+from ..faults.plan import InjectedFault
 from ..hw.cpu import CPU, Core
 from ..hw.topology import Fabric
 from ..obs.tracer import NULL_TRACER
@@ -97,6 +99,8 @@ class SolrosFsProxy:
         host_cpu: CPU,
         cache: Optional[BufferCache] = None,
         policy: Optional[DataPathPolicy] = None,
+        breaker_threshold: int = 3,
+        breaker_reset_ns: int = 2_000_000,
     ):
         self.engine = engine
         self.fabric = fabric
@@ -111,6 +115,14 @@ class SolrosFsProxy:
         # Optional cross-co-processor prefetcher (§4): set by the
         # control plane when enabled.
         self.prefetcher = None
+        # Fault injection + recovery (repro.faults).  With an injector
+        # wired, P2P submissions are guarded by a per-device circuit
+        # breaker and degrade to the buffered path on injected faults;
+        # without one, neither gate is ever consulted.
+        self.faults = None
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset_ns = breaker_reset_ns
+        self._breakers: Dict[str, CircuitBreaker] = {}
         # Observability (off by default).
         self.tracer = NULL_TRACER
         self.metrics = None
@@ -126,6 +138,48 @@ class SolrosFsProxy:
             self._c_buffered = metrics.counter("proxy.path.buffered")
         if self.cache is not None:
             self.cache.set_obs(tracer, metrics)
+        for breaker in self._breakers.values():
+            breaker.set_obs(tracer, metrics)
+
+    # ------------------------------------------------------------------
+    # Circuit breaker (repro.faults)
+    # ------------------------------------------------------------------
+    def breaker(self, device_node: str) -> CircuitBreaker:
+        """The breaker guarding P2P submissions to ``device_node``."""
+        b = self._breakers.get(device_node)
+        if b is None:
+            b = CircuitBreaker(
+                self.engine,
+                device_node,
+                failure_threshold=self.breaker_threshold,
+                reset_ns=self.breaker_reset_ns,
+                injector=self.faults,
+            )
+            b.set_obs(self.tracer, self.metrics)
+            self._breakers[device_node] = b
+        return b
+
+    def breaker_snapshots(self) -> list:
+        return [
+            self._breakers[k].snapshot() for k in sorted(self._breakers)
+        ]
+
+    def _p2p_allowed(self, device) -> bool:
+        """Consult the device breaker; only active with faults wired."""
+        if self.faults is None:
+            return True
+        if self.breaker(device.nvme.node).allow():
+            return True
+        self.faults.fallback_buffered()
+        return False
+
+    def _p2p_failed(self, device) -> None:
+        self.breaker(device.nvme.node).record_failure()
+        self.faults.fallback_buffered()
+
+    def _p2p_succeeded(self, device) -> None:
+        if self.faults is not None:
+            self.breaker(device.nvme.node).record_success()
 
     # ------------------------------------------------------------------
     # Wiring
@@ -262,75 +316,110 @@ class SolrosFsProxy:
         self.stats.time_fs += self.engine.now - t0
 
         device = self.fs.device
-        if decision.mode == P2P:
-            # Zero copy: the NVMe DMA engine lands data directly in
-            # co-processor memory; one doorbell, one interrupt.
-            self.stats.p2p_reads += 1
-            if self._c_p2p is not None:
-                self._c_p2p.inc()
-            t1 = self.engine.now
-            dev_span = (
-                self.tracer.begin(
-                    "nvme.read", "device", parent=ctx, core=core,
-                    nbytes=count, path="p2p",
+        if decision.mode == P2P and self._p2p_allowed(device):
+            try:
+                yield from self._read_p2p(
+                    core, msg, extents, count, ctx, traced, device
                 )
-                if traced
-                else None
-            )
-            yield from device.submit_read(
-                core, extents, msg.target_node, coalesce=True,
-                ctx=_sctx(dev_span, ctx),
-            )
-            if dev_span is not None:
-                self.tracer.end(dev_span)
-            self.stats.time_storage += self.engine.now - t1
+            except InjectedFault:
+                # Injected device failure on the zero-copy path:
+                # degrade this request to the host-staged buffered
+                # path (nothing landed in co-processor memory, so all
+                # extents are re-read) and let the breaker decide for
+                # the requests after it.
+                self._p2p_failed(device)
+                yield from self._read_buffered(
+                    core, msg, extents, list(extents), count, ctx,
+                    traced, device,
+                )
         else:
-            # Buffered: stage misses in host RAM through the shared
-            # cache, then push everything with a host DMA engine.
-            self.stats.buffered_reads += 1
-            if self._c_buffered is not None:
-                self._c_buffered.inc()
-            pages = (count + 4095) // 4096
-            yield from core.compute(FS_PAGE_UNITS * pages, "branchy")
-            if missing:
-                t1 = self.engine.now
-                dev_span = (
-                    self.tracer.begin(
-                        "nvme.read", "device", parent=ctx, core=core,
-                        nbytes=count, path="buffered",
-                    )
-                    if traced
-                    else None
-                )
-                yield from device.submit_read(
-                    core, missing, self.host_cpu.node, coalesce=True,
-                    ctx=_sctx(dev_span, ctx),
-                )
-                if dev_span is not None:
-                    self.tracer.end(dev_span)
-                self.stats.time_storage += self.engine.now - t1
-                if self.cache is not None:
-                    self.cache.insert(device, missing)
-            t2 = self.engine.now
-            dma_span = (
-                self.tracer.begin(
-                    "dma.push", "transport", parent=ctx, core=core,
-                    nbytes=count,
-                )
-                if traced
-                else None
+            yield from self._read_buffered(
+                core, msg, extents, missing, count, ctx, traced, device
             )
-            yield from self.fabric.dma_copy(
-                core, self.host_cpu.node, msg.target_node, count
-            )
-            if dma_span is not None:
-                self.tracer.end(dma_span)
-            self.stats.time_transport += self.engine.now - t2
 
         self.stats.bytes_read += count
         data = b"".join(device.read_extent_data(e) for e in extents)
         skip = msg.offset % self.fs.sb.block_size
         return data[skip : skip + count]
+
+    def _read_p2p(
+        self, core: Core, msg: Tread, extents, count: int, ctx, traced,
+        device,
+    ) -> Generator:
+        # Zero copy: the NVMe DMA engine lands data directly in
+        # co-processor memory; one doorbell, one interrupt.
+        self.stats.p2p_reads += 1
+        if self._c_p2p is not None:
+            self._c_p2p.inc()
+        t1 = self.engine.now
+        dev_span = (
+            self.tracer.begin(
+                "nvme.read", "device", parent=ctx, core=core,
+                nbytes=count, path="p2p",
+            )
+            if traced
+            else None
+        )
+        try:
+            yield from device.submit_read(
+                core, extents, msg.target_node, coalesce=True,
+                ctx=_sctx(dev_span, ctx),
+            )
+        except InjectedFault:
+            if dev_span is not None:
+                self.tracer.end(dev_span, error=True)
+            self.stats.time_storage += self.engine.now - t1
+            raise
+        if dev_span is not None:
+            self.tracer.end(dev_span)
+        self.stats.time_storage += self.engine.now - t1
+        self._p2p_succeeded(device)
+
+    def _read_buffered(
+        self, core: Core, msg: Tread, extents, missing, count: int, ctx,
+        traced, device,
+    ) -> Generator:
+        # Buffered: stage misses in host RAM through the shared
+        # cache, then push everything with a host DMA engine.
+        self.stats.buffered_reads += 1
+        if self._c_buffered is not None:
+            self._c_buffered.inc()
+        pages = (count + 4095) // 4096
+        yield from core.compute(FS_PAGE_UNITS * pages, "branchy")
+        if missing:
+            t1 = self.engine.now
+            dev_span = (
+                self.tracer.begin(
+                    "nvme.read", "device", parent=ctx, core=core,
+                    nbytes=count, path="buffered",
+                )
+                if traced
+                else None
+            )
+            yield from device.submit_read(
+                core, missing, self.host_cpu.node, coalesce=True,
+                ctx=_sctx(dev_span, ctx),
+            )
+            if dev_span is not None:
+                self.tracer.end(dev_span)
+            self.stats.time_storage += self.engine.now - t1
+            if self.cache is not None:
+                self.cache.insert(device, missing)
+        t2 = self.engine.now
+        dma_span = (
+            self.tracer.begin(
+                "dma.push", "transport", parent=ctx, core=core,
+                nbytes=count,
+            )
+            if traced
+            else None
+        )
+        yield from self.fabric.dma_copy(
+            core, self.host_cpu.node, msg.target_node, count
+        )
+        if dma_span is not None:
+            self.tracer.end(dma_span)
+        self.stats.time_transport += self.engine.now - t2
 
     # ------------------------------------------------------------------
     # Write
@@ -365,74 +454,104 @@ class SolrosFsProxy:
             # Functional truth: scatter the bytes into device blocks.
             self.fs._store_bytes(inode, msg.offset, msg.data, extents)
 
-        if decision.mode == P2P:
-            self.stats.p2p_writes += 1
-            if self._c_p2p is not None:
-                self._c_p2p.inc()
-            t1 = self.engine.now
-            dev_span = (
-                self.tracer.begin(
-                    "nvme.write", "device", parent=ctx, core=core,
-                    nbytes=msg.count, path="p2p",
+        if decision.mode == P2P and self._p2p_allowed(device):
+            try:
+                yield from self._write_p2p(
+                    core, msg, extents, ctx, traced, device
                 )
-                if traced
-                else None
-            )
-            yield from device.submit_write(
-                core, extents, msg.source_node, coalesce=True,
-                ctx=_sctx(dev_span, ctx),
-            )
-            if dev_span is not None:
-                self.tracer.end(dev_span)
-            self.stats.time_storage += self.engine.now - t1
-            if self.cache is not None:
-                # The DMA bypassed host RAM: stale cache copies must go.
-                self.cache.invalidate(device, extents)
+            except InjectedFault:
+                # Degrade this write to the buffered path; the bytes
+                # were already scattered functionally above, so only
+                # the timing/DMA story changes.
+                self._p2p_failed(device)
+                yield from self._write_buffered(
+                    core, msg, extents, ctx, traced, device
+                )
         else:
-            self.stats.buffered_writes += 1
-            if self._c_buffered is not None:
-                self._c_buffered.inc()
-            t2 = self.engine.now
-            dma_span = (
-                self.tracer.begin(
-                    "dma.pull", "transport", parent=ctx, core=core,
-                    nbytes=msg.count,
-                )
-                if traced
-                else None
+            yield from self._write_buffered(
+                core, msg, extents, ctx, traced, device
             )
-            yield from self.fabric.dma_copy(
-                core, msg.source_node, self.host_cpu.node, msg.count
-            )
-            if dma_span is not None:
-                self.tracer.end(dma_span)
-            self.stats.time_transport += self.engine.now - t2
-            pages = (msg.count + 4095) // 4096
-            yield from core.compute(FS_PAGE_UNITS * pages, "branchy")
-            t1 = self.engine.now
-            dev_span = (
-                self.tracer.begin(
-                    "nvme.write", "device", parent=ctx, core=core,
-                    nbytes=msg.count, path="buffered",
-                )
-                if traced
-                else None
-            )
-            yield from device.submit_write(
-                core, extents, self.host_cpu.node, coalesce=True,
-                ctx=_sctx(dev_span, ctx),
-            )
-            if dev_span is not None:
-                self.tracer.end(dev_span)
-            self.stats.time_storage += self.engine.now - t1
-            if self.cache is not None:
-                self.cache.insert(device, extents)
 
         if msg.offset + msg.count > inode.size:
             inode.size = msg.offset + msg.count
             self.fs._dirty_inodes.add(inode.ino)
         self.stats.bytes_written += msg.count
         return msg.count
+
+    def _write_p2p(
+        self, core: Core, msg: Twrite, extents, ctx, traced, device
+    ) -> Generator:
+        self.stats.p2p_writes += 1
+        if self._c_p2p is not None:
+            self._c_p2p.inc()
+        t1 = self.engine.now
+        dev_span = (
+            self.tracer.begin(
+                "nvme.write", "device", parent=ctx, core=core,
+                nbytes=msg.count, path="p2p",
+            )
+            if traced
+            else None
+        )
+        try:
+            yield from device.submit_write(
+                core, extents, msg.source_node, coalesce=True,
+                ctx=_sctx(dev_span, ctx),
+            )
+        except InjectedFault:
+            if dev_span is not None:
+                self.tracer.end(dev_span, error=True)
+            self.stats.time_storage += self.engine.now - t1
+            raise
+        if dev_span is not None:
+            self.tracer.end(dev_span)
+        self.stats.time_storage += self.engine.now - t1
+        if self.cache is not None:
+            # The DMA bypassed host RAM: stale cache copies must go.
+            self.cache.invalidate(device, extents)
+        self._p2p_succeeded(device)
+
+    def _write_buffered(
+        self, core: Core, msg: Twrite, extents, ctx, traced, device
+    ) -> Generator:
+        self.stats.buffered_writes += 1
+        if self._c_buffered is not None:
+            self._c_buffered.inc()
+        t2 = self.engine.now
+        dma_span = (
+            self.tracer.begin(
+                "dma.pull", "transport", parent=ctx, core=core,
+                nbytes=msg.count,
+            )
+            if traced
+            else None
+        )
+        yield from self.fabric.dma_copy(
+            core, msg.source_node, self.host_cpu.node, msg.count
+        )
+        if dma_span is not None:
+            self.tracer.end(dma_span)
+        self.stats.time_transport += self.engine.now - t2
+        pages = (msg.count + 4095) // 4096
+        yield from core.compute(FS_PAGE_UNITS * pages, "branchy")
+        t1 = self.engine.now
+        dev_span = (
+            self.tracer.begin(
+                "nvme.write", "device", parent=ctx, core=core,
+                nbytes=msg.count, path="buffered",
+            )
+            if traced
+            else None
+        )
+        yield from device.submit_write(
+            core, extents, self.host_cpu.node, coalesce=True,
+            ctx=_sctx(dev_span, ctx),
+        )
+        if dev_span is not None:
+            self.tracer.end(dev_span)
+        self.stats.time_storage += self.engine.now - t1
+        if self.cache is not None:
+            self.cache.insert(device, extents)
 
     # ------------------------------------------------------------------
     # Policy glue

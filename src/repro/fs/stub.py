@@ -96,37 +96,59 @@ class SolrosFsBackend(FsBackend):
             self.channel.tracer.end(span, **attrs)
 
     def _call(self, core: Core, msg: Any, ctx=None) -> Generator:
-        """Ship one 9P message, absorbing admission-control pushback.
+        """Ship one 9P message, absorbing transient failures.
 
-        When the control-plane scheduler rejects the request (ring
-        backlog, no credits) the stub backs off — bounded exponential
-        delay seeded deterministically, based at the scheduler's own
-        retry-after hint — and re-issues, up to ``retry.max_tries``
-        total attempts.  Any other remote failure propagates.
+        Re-issues on any *transient* cause (``retry.retryable``):
+        admission-control pushback (``SchedRejected``), RPC timeouts,
+        and injected device/transport errors (``repro.faults``) — with
+        bounded, deterministically-seeded exponential backoff based at
+        the scheduler's retry-after hint when one is present.  Every
+        re-issue carries the same idempotency sequence number, so a
+        request that actually completed server-side (the timeout
+        raced the response) is answered from the proxy's result cache.
+
+        Retrying stops — raising the last cause — when the attempt
+        budget is spent *or* the request's QoS deadline has already
+        expired: backing off past the deadline could only produce a
+        late result the caller no longer wants.
         """
         size = wire_bytes(msg)
+        engine = self.channel.engine
         deadline = None
         if self.qos.deadline_ns is not None:
-            deadline = self.channel.engine.now + self.qos.deadline_ns
+            deadline = engine.now + self.qos.deadline_ns
+        dedup = None
+        if (
+            self.channel.default_timeout_ns is not None
+            or self.channel.faults is not None
+        ):
+            dedup = self.channel.next_dedup()
         attempt = 0
         while True:
             try:
                 result = yield from self.channel.call(
                     core, "9p", msg, size=size, ctx=ctx,
                     priority=self.qos.priority, deadline=deadline,
+                    dedup=dedup,
                 )
                 return result
             except RemoteCallError as err:
                 cause = err.cause
-                if not isinstance(cause, SchedRejected):
+                if not self.retry.retryable(cause):
                     raise
-                self.rejections += 1
+                if isinstance(cause, SchedRejected):
+                    self.rejections += 1
                 attempt += 1
                 if attempt >= self.retry.max_tries:
                     raise
+                if deadline is not None and engine.now >= deadline:
+                    raise
                 self.retries += 1
+                if self.channel.faults is not None:
+                    self.channel.faults.rpc_retry()
                 yield self.retry.delay(
-                    attempt - 1, self._rng, cause.retry_after_ns
+                    attempt - 1, self._rng,
+                    getattr(cause, "retry_after_ns", None),
                 )
 
     def _next_buffer(self) -> int:

@@ -43,6 +43,8 @@ class NicDevice:
         )
         self.packets_sent = 0
         self.packets_received = 0
+        # Fault injection (repro.faults); None keeps the hooks dormant.
+        self.faults = None
 
     def packet_count(self, nbytes: int) -> int:
         """MTU-sized packets needed for a payload of ``nbytes``."""
@@ -56,6 +58,12 @@ class NicDevice:
     def transmit(self, nbytes: int) -> Generator:
         """Push ``nbytes`` out on the wire (NIC → client)."""
         npkts = self.packet_count(nbytes)
+        if self.faults is not None:
+            # Injected packet loss: the transfer pays one retransmit
+            # round before the (re)send goes through.
+            penalty = self.faults.nic_drop("tx")
+            if penalty:
+                yield penalty
         yield npkts * self.params.per_packet_ns
         yield from self.wire_tx.transfer(max(nbytes, 1))
         self.packets_sent += npkts
@@ -63,6 +71,10 @@ class NicDevice:
     def receive(self, nbytes: int) -> Generator:
         """Accept ``nbytes`` arriving on the wire (client → NIC)."""
         npkts = self.packet_count(nbytes)
+        if self.faults is not None:
+            penalty = self.faults.nic_drop("rx")
+            if penalty:
+                yield penalty
         yield from self.wire_rx.transfer(max(nbytes, 1))
         yield npkts * self.params.per_packet_ns
         self.packets_received += npkts

@@ -97,6 +97,8 @@ class NvmeDevice:
         )
         self._slots = Resource(engine, capacity=p.parallelism, name=f"{node}.slots")
         self.stats = NvmeStats()
+        # Fault injection (repro.faults); None keeps the hooks dormant.
+        self.faults = None
         # Observability (off by default).
         self.tracer = NULL_TRACER
         self._h_cmd_bytes = None
@@ -154,34 +156,71 @@ class NvmeDevice:
         for op in ops:
             cmds.extend(self.split_mdts(op))
 
+        # Fault decisions are drawn here, before spawning, so a failing
+        # batch raises at the submitter (which is waiting on all_of)
+        # rather than inside an unwaited worker process.  Spiked
+        # commands still pay their full timing; the error surfaces
+        # after the batch completes, like a real completion-queue
+        # entry with a bad status field.
+        spikes = None
+        failed: Optional[NvmeOp] = None
+        if self.faults is not None:
+            spikes = []
+            for cmd in cmds:
+                is_p2p = self.fabric.node(cmd.target).kind == "phi"
+                extra, fails = self.faults.nvme_command(cmd.op, is_p2p)
+                spikes.append(extra)
+                if fails and failed is None:
+                    failed = cmd
+
         if coalesce_interrupts:
             yield from self.fabric.remote_tx(initiator, 1)  # one doorbell
             self.stats.doorbells += 1
             workers = [
                 self.engine.spawn(
-                    self._execute(cmd, ctx=ctx), name=f"nvme-{cmd.op}"
+                    self._execute(
+                        cmd, ctx=ctx,
+                        extra_ns=spikes[i] if spikes else 0,
+                    ),
+                    name=f"nvme-{cmd.op}",
                 )
-                for cmd in cmds
+                for i, cmd in enumerate(cmds)
             ]
             yield self.engine.all_of(workers)
             yield from self._interrupt()
         else:
             workers = []
-            for cmd in cmds:
+            for i, cmd in enumerate(cmds):
                 yield from self.fabric.remote_tx(initiator, 1)
                 self.stats.doorbells += 1
                 workers.append(
                     self.engine.spawn(
-                        self._execute(cmd, interrupt=True, ctx=ctx),
+                        self._execute(
+                            cmd, interrupt=True, ctx=ctx,
+                            extra_ns=spikes[i] if spikes else 0,
+                        ),
                         name=f"nvme-{cmd.op}",
                     )
                 )
             yield self.engine.all_of(workers)
+        if failed is not None:
+            from ..faults.plan import NvmeInjectedError
+
+            raise NvmeInjectedError(
+                f"injected {failed.op} error on {self.node} "
+                f"({failed.nbytes}B @ {failed.offset} -> {failed.target})"
+            )
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _execute(self, cmd: NvmeOp, interrupt: bool = False, ctx=None) -> Generator:
+    def _execute(
+        self,
+        cmd: NvmeOp,
+        interrupt: bool = False,
+        ctx=None,
+        extra_ns: int = 0,
+    ) -> Generator:
         p = self.params
         span = None
         if self.tracer.enabled and ctx is not None:
@@ -197,6 +236,10 @@ class NvmeDevice:
         try:
             self.stats.commands += 1
             yield p.cmd_overhead_ns
+            if extra_ns:
+                # Injected latency spike (firmware GC pause, thermal
+                # throttle) — charged inside the slot like real work.
+                yield extra_ns
             if cmd.op == "read":
                 yield p.read_latency_ns
                 links = [self._read_bus] + self.fabric.path_links(

@@ -225,6 +225,17 @@ class SolrosNetProxy:
         self.loads[phi_index] = 0
         if self.tracer.enabled or self.metrics is not None:
             channel.set_obs(self.tracer, self.metrics)
+        # Fault injection (repro.faults): the net channel inherits the
+        # control plane's injector so proxy crash/restart and ring
+        # faults cover the network service too.  The net stub has no
+        # retry loop, so a timeout surfaces at the socket API as
+        # RemoteCallError(ETIMEDOUT).
+        injector = getattr(dataplane.control, "faults", None)
+        if injector is not None:
+            channel.rpc.set_faults(injector)
+            channel.outbound.faults = injector
+            channel.inbound.faults = injector
+        channel.rpc.default_timeout_ns = dataplane.config.rpc_timeout_ns
 
         # Control RPC servicing.
         channel.rpc.start_client(dataplane.cpu.cores[-2])

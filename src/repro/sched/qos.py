@@ -75,6 +75,8 @@ class SchedRejected(SchedError):
     uses as the base of its backoff.
     """
 
+    transient = True  # safe to re-issue (nothing executed)
+
     def __init__(self, reason: str, retry_after_ns: int = 2_000):
         super().__init__(f"admission rejected: {reason}")
         self.reason = reason
@@ -91,12 +93,14 @@ class SchedDeadlineExceeded(SchedError):
 
 
 class RetryPolicy:
-    """Bounded exponential backoff with jitter for rejected RPCs.
+    """Bounded exponential backoff with jitter for transient RPC
+    failures.
 
     Deterministic given a seeded RNG: delay for attempt ``k`` is drawn
     uniformly from the upper half of ``min(max_ns, base << k)`` where
     ``base`` is the larger of the policy's floor and the scheduler's
-    retry-after hint.
+    retry-after hint — and the result is always clamped to ``max_ns``,
+    even when the hint itself exceeds the cap.
     """
 
     def __init__(
@@ -111,8 +115,18 @@ class RetryPolicy:
         self.max_ns = max_ns
         self.max_tries = max_tries
 
+    def retryable(self, cause: BaseException) -> bool:
+        """Is re-issuing after this failure safe and useful?
+
+        True for admission pushback (:class:`SchedRejected`) and for
+        any cause marked ``transient`` (RPC timeouts, injected device
+        errors — see ``repro.faults``); everything else, including
+        :class:`SchedDeadlineExceeded`, propagates immediately.
+        """
+        return bool(getattr(cause, "transient", False))
+
     def delay(self, attempt: int, rng, hint_ns: Optional[int] = None) -> int:
-        base = max(self.base_ns, int(hint_ns or 0))
+        base = max(self.base_ns, min(int(hint_ns or 0), self.max_ns))
         ceiling = min(self.max_ns, base << min(attempt, 20))
         half = max(1, ceiling // 2)
-        return half + rng.randrange(half + 1)
+        return min(self.max_ns, half + rng.randrange(half + 1))

@@ -14,7 +14,7 @@
 from .combining import CombiningQueue, CombiningStats
 from .locks import MCSLock, MCSNode, TicketLock
 from .ringbuf import RingBuffer, RingPolicy, RingStats, Slot
-from .rpc import RemoteCallError, RpcChannel, RpcError, RpcMessage
+from .rpc import RemoteCallError, RpcChannel, RpcError, RpcMessage, RpcTimeout
 from .twolock import TwoLockQueue
 
 __all__ = [
@@ -32,4 +32,5 @@ __all__ = [
     "RpcMessage",
     "RpcError",
     "RemoteCallError",
+    "RpcTimeout",
 ]

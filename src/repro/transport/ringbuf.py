@@ -192,6 +192,8 @@ class RingBuffer:
         self.policy = policy or RingPolicy()
         self.name = name
         self.stats = RingStats()
+        # Fault injection (repro.faults); None keeps the hooks dormant.
+        self.faults = None
         # Observability (off by default: NullTracer + no metrics).
         self.tracer = NULL_TRACER
         self.metrics = None
@@ -265,6 +267,12 @@ class RingBuffer:
             yield core.params.l1_ns
             return
         self.stats.pcie_tx += 1
+        if self.faults is not None:
+            # Injected link degradation (retraining/replay) taxes the
+            # non-posted read with extra nanoseconds.
+            extra = self.faults.pcie_degrade(self.name)
+            if extra:
+                yield extra
         yield from self.fabric.remote_tx(core, 1)
 
     def _remote_ctrl_post(self, core: Core) -> Generator:
@@ -322,6 +330,12 @@ class RingBuffer:
                 ring=self.name, size=size,
             )
         yield from core.compute(RB_OP_WORK_UNITS, "branchy")
+        if self.faults is not None:
+            # Transient slot stall: the producer loses the slot for a
+            # while (SMI / preemption) before the reservation runs.
+            stall = self.faults.ring_stall(self.name)
+            if stall:
+                yield stall
         result = yield from self._enq_side.execute(
             core, lambda c: self._enqueue_op(c, size), ctx=ctx
         )
@@ -410,6 +424,11 @@ class RingBuffer:
     def try_dequeue(self, core: Core) -> Generator:
         """Claim the oldest ready slot; None when empty."""
         yield from core.compute(RB_OP_WORK_UNITS, "branchy")
+        if self.faults is not None:
+            # Consumer-side counterpart of the enqueue stall.
+            stall = self.faults.ring_stall(self.name)
+            if stall:
+                yield stall
         result = yield from self._deq_side.execute(core, self._dequeue_op)
         if result is _WOULD_BLOCK:
             self.stats.would_blocks += 1

@@ -18,6 +18,7 @@ for zero-copy DMA instead (§4.3.1).
 from __future__ import annotations
 
 import inspect
+from collections import OrderedDict
 from typing import Any, Callable, Dict, Generator, Optional, Sequence
 
 from ..hw.cpu import CPU, Core
@@ -26,23 +27,60 @@ from ..obs.tracer import NULL_TRACER
 from ..sim.engine import Engine, Event, Interrupt, SimError
 from .ringbuf import RingBuffer, RingPolicy
 
-__all__ = ["RpcChannel", "RpcMessage", "RpcError", "RemoteCallError"]
+__all__ = [
+    "RpcChannel", "RpcMessage", "RpcError", "RemoteCallError", "RpcTimeout",
+]
 
 DEFAULT_RING_BYTES = 1 << 20      # 1 MB control rings
 DEFAULT_MSG_BYTES = 64            # typical RPC header size
+
+# Server-side dedup cache: completed results remembered per channel.
+DEDUP_CACHE_SIZE = 512
 
 
 class RpcError(SimError):
     """Transport-level RPC failure."""
 
 
+class RpcTimeout(SimError):
+    """A call's response did not arrive within its timeout.
+
+    Transient by construction: the request may have been lost before
+    execution (proxy crash) or the response may still be in flight, so
+    the caller re-issues with the same dedup sequence number and the
+    server's result cache makes the retry idempotent.
+    """
+
+    errno_name = "ETIMEDOUT"
+    transient = True
+
+    def __init__(self, method: str, timeout_ns: int):
+        super().__init__(f"rpc {method!r} timed out after {timeout_ns}ns")
+        self.method = method
+        self.timeout_ns = timeout_ns
+
+
 class RemoteCallError(SimError):
-    """The server handler raised; carries the original exception."""
+    """The server handler raised; carries the original exception.
+
+    ``cause`` is always the *innermost* failure: wrapping a
+    RemoteCallError (e.g. a stub re-raising after retry exhaustion, or
+    a proxy whose handler itself made a delegated call) flattens to
+    the original cause, so callers never have to unwrap
+    ``RemoteCallError(RemoteCallError(...))`` chains and
+    ``errno_name`` always reflects the root failure.
+    """
 
     def __init__(self, method: str, cause: BaseException):
+        while isinstance(cause, RemoteCallError):
+            cause = cause.cause
         super().__init__(f"remote {method!r} failed: {cause!r}")
         self.method = method
         self.cause = cause
+
+    @property
+    def errno_name(self) -> str:
+        return getattr(self.cause, "errno_name", "EIO")
 
 
 class RpcMessage:
@@ -57,11 +95,16 @@ class RpcMessage:
     (0 = most urgent) and an absolute simulated-ns deadline (None =
     never shed).  Both ride the wire header, so a scheduler-less
     server simply ignores them.
+
+    ``dedup`` is an optional idempotency sequence number: re-issues of
+    one logical operation (after a timeout) carry the same number, and
+    the server answers duplicates from its result cache instead of
+    re-executing the handler.  None (the default) opts out.
     """
 
     __slots__ = (
         "req_id", "method", "payload", "size", "is_error", "oneway", "trace",
-        "priority", "deadline",
+        "priority", "deadline", "dedup",
     )
 
     def __init__(
@@ -75,6 +118,7 @@ class RpcMessage:
         trace=None,
         priority: int = 1,
         deadline: Optional[int] = None,
+        dedup: Optional[int] = None,
     ):
         self.req_id = req_id
         self.method = method
@@ -85,6 +129,7 @@ class RpcMessage:
         self.trace = trace
         self.priority = priority
         self.deadline = deadline
+        self.dedup = dedup
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Rpc #{self.req_id} {self.method} {self.size}B>"
@@ -167,6 +212,12 @@ class RpcChannel:
         self._servers: list = []
         self._running = True
         self.calls = 0
+        # Fault injection + recovery (repro.faults).  All None/off by
+        # default: the legacy path is bit-identical.
+        self.faults = None                  # FaultInjector or None
+        self.default_timeout_ns: Optional[int] = None
+        self._dedup_seq = 0
+        self._dedup_done: "OrderedDict[int, tuple]" = OrderedDict()
         # Observability (off by default: NullTracer + no metrics).
         self.tracer = NULL_TRACER
         self.metrics = None
@@ -182,6 +233,17 @@ class RpcChannel:
             self._m_calls = metrics.meter(f"rpc.{self.name}.calls")
         self.request_ring.set_obs(tracer, metrics)
         self.response_ring.set_obs(tracer, metrics)
+
+    def set_faults(self, injector) -> None:
+        """Wire a fault injector into the channel and both rings."""
+        self.faults = injector
+        self.request_ring.faults = injector
+        self.response_ring.faults = injector
+
+    def next_dedup(self) -> int:
+        """A fresh idempotency sequence number for one logical call."""
+        self._dedup_seq += 1
+        return self._dedup_seq
 
     # ------------------------------------------------------------------
     # Client side (data-plane stub)
@@ -203,6 +265,8 @@ class RpcChannel:
         ctx=None,
         priority: int = 1,
         deadline: Optional[int] = None,
+        dedup: Optional[int] = None,
+        timeout_ns: Optional[int] = None,
     ) -> Generator:
         """Invoke ``method`` on the server; returns its result.
 
@@ -210,9 +274,18 @@ class RpcChannel:
         ``ctx`` (a span context) links the call into the caller's trace.
         ``priority``/``deadline`` annotate the request for a scheduled
         server (ignored by plain ``start_server`` loops).
+
+        ``timeout_ns`` (or the channel's ``default_timeout_ns``) bounds
+        the wait for the response: on expiry the call raises
+        :class:`RemoteCallError` with an :class:`RpcTimeout` cause and
+        forgets the waiter (a late response is dropped by the
+        dispatcher).  ``dedup`` tags the request so a post-timeout
+        re-issue is idempotent at the server.
         """
         if self._dispatcher is None:
             raise RpcError("start_client() must be called first")
+        if timeout_ns is None:
+            timeout_ns = self.default_timeout_ns
         self._next_id += 1
         req_id = self._next_id
         done = self.engine.event()
@@ -230,10 +303,25 @@ class RpcChannel:
             self._g_inflight.add(1)
         msg = RpcMessage(
             req_id, method, payload, size, trace=send_ctx,
-            priority=priority, deadline=deadline,
+            priority=priority, deadline=deadline, dedup=dedup,
         )
         yield from self.request_ring.send(core, msg, size, ctx=send_ctx)
-        response: RpcMessage = yield done
+        if timeout_ns is None:
+            response: RpcMessage = yield done
+        else:
+            which, value = yield self.engine.any_of(
+                [done, self.engine.timeout(timeout_ns)]
+            )
+            if which != 0:
+                self._pending.pop(req_id, None)
+                if self._g_inflight is not None:
+                    self._g_inflight.add(-1)
+                if span is not None:
+                    self.tracer.end(span, error=True, timeout=True)
+                if self.faults is not None:
+                    self.faults.rpc_timeout()
+                raise RemoteCallError(method, RpcTimeout(method, timeout_ns))
+            response = value
         if self._g_inflight is not None:
             self._g_inflight.add(-1)
         if self._m_calls is not None:
@@ -337,6 +425,12 @@ class RpcChannel:
                 core=core, channel=self.name,
             )
             hctx = span.ctx()
+        if self.faults is not None and self.faults.proxy_request(self.name):
+            # Injected proxy crash: the request vanishes without a
+            # reply.  The client recovers via timeout + re-issue.
+            if span is not None:
+                self.tracer.end(span, error=True, dropped=True)
+            return
         if msg.oneway:
             try:
                 yield from handler(core, msg.method, msg.payload, hctx)
@@ -345,17 +439,37 @@ class RpcChannel:
             if span is not None:
                 self.tracer.end(span, oneway=True)
             return
-        try:
-            result = yield from handler(core, msg.method, msg.payload, hctx)
+        cached = (
+            self._dedup_done.get(msg.dedup) if msg.dedup is not None else None
+        )
+        if cached is not None:
+            # A duplicate of an already-completed request (the client
+            # timed out and re-issued): answer from the result cache
+            # without re-executing the handler.
+            if self.faults is not None:
+                self.faults.dedup_hit()
             reply = RpcMessage(
-                msg.req_id, msg.method, result, response_size,
+                msg.req_id, msg.method, cached[0], response_size,
                 trace=msg.trace,
             )
-        except Exception as error:  # noqa: BLE001 - shipped to caller
-            reply = RpcMessage(
-                msg.req_id, msg.method, error, response_size,
-                is_error=True, trace=msg.trace,
-            )
+        else:
+            try:
+                result = yield from handler(
+                    core, msg.method, msg.payload, hctx
+                )
+                reply = RpcMessage(
+                    msg.req_id, msg.method, result, response_size,
+                    trace=msg.trace,
+                )
+                if msg.dedup is not None:
+                    self._dedup_done[msg.dedup] = (result,)
+                    while len(self._dedup_done) > DEDUP_CACHE_SIZE:
+                        self._dedup_done.popitem(last=False)
+            except Exception as error:  # noqa: BLE001 - shipped to caller
+                reply = RpcMessage(
+                    msg.req_id, msg.method, error, response_size,
+                    is_error=True, trace=msg.trace,
+                )
         if span is not None:
             self.tracer.end(span, error=reply.is_error)
         yield from self.response_ring.send(
